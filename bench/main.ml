@@ -1,0 +1,258 @@
+(* Benchmark harness: regenerates every table/figure reproduction (the
+   experiment suite E1-E12, F1-F2 and ablations A1-A2 of DESIGN.md) and runs one Bechamel
+   micro-benchmark per experiment, measuring the protocol operation at the
+   heart of that experiment.
+
+   Usage:  dune exec bench/main.exe -- [--full] [--skip-micro] [IDS...]
+     --full        run experiments at EXPERIMENTS.md scale (slow)
+     --skip-micro  skip the Bechamel micro-benchmarks
+     IDS           experiment ids (default: all of E1..E12 F1 F2 A1 A2) *)
+
+open Bechamel
+
+module Engine = Now_core.Engine
+module Node = Now_core.Node
+module Params = Now_core.Params
+module Rng = Prng.Rng
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmark fixtures                                            *)
+(* ------------------------------------------------------------------ *)
+
+let population rng n tau =
+  List.init n (fun _ -> if Rng.bernoulli rng tau then Node.Byzantine else Node.Honest)
+
+let small_engine ?(walk_mode = Params.Direct_sample) ?(shuffle = true) () =
+  let params =
+    Params.make ~n_max:(1 lsl 10) ~k:3 ~tau:0.15 ~walk_mode
+      ~shuffle_on_churn:shuffle ()
+  in
+  let rng = Rng.create 42L in
+  Engine.create ~seed:42L params ~initial:(population rng 300 0.15)
+
+(* Each test measures the dominant operation of its experiment.  Engines
+   are shared across iterations; join/leave pairs keep the population
+   stationary so the measured cost does not drift. *)
+let micro_tests () =
+  let e1_engine = small_engine () in
+  let e1 =
+    Test.make ~name:"E1 full cluster exchange"
+      (Staged.stage (fun () ->
+           let tbl = Engine.table e1_engine in
+           let cid = Now_core.Cluster_table.uniform_cluster tbl (Rng.of_int 1) in
+           ignore (Engine.exchange_cluster e1_engine cid)))
+  in
+  let e2_engine = small_engine () in
+  let e2_rng = Rng.of_int 2 in
+  let e2 =
+    Test.make ~name:"E2 neutral churn step"
+      (Staged.stage (fun () ->
+           if Rng.bool e2_rng then ignore (Engine.join e2_engine Node.Honest)
+           else ignore (Engine.leave e2_engine (Engine.random_node e2_engine))))
+  in
+  let e3_engine = small_engine () in
+  let e3_driver =
+    Adversary.create ~tau:0.15 ~strategy:Adversary.Target_cluster e3_engine
+  in
+  let e3 =
+    Test.make ~name:"E3 targeted-attack step"
+      (Staged.stage (fun () -> Adversary.step e3_driver))
+  in
+  let e4_rng = Rng.of_int 4 in
+  let e4_over =
+    let o =
+      Over.create ~rng:(Rng.of_int 40) ~target_degree:(fun ~n_vertices ->
+          min (n_vertices - 1) 8)
+    in
+    Over.init_erdos_renyi o ~vertices:(List.init 64 (fun i -> i));
+    o
+  in
+  let e4_next = ref 1000 in
+  let e4_pick () =
+    let vs = Array.of_list (Dsgraph.Graph.vertices (Over.graph e4_over)) in
+    vs.(Rng.int e4_rng (Array.length vs))
+  in
+  let e4 =
+    Test.make ~name:"E4 overlay add+remove vertex"
+      (Staged.stage (fun () ->
+           incr e4_next;
+           Over.add_vertex e4_over !e4_next ~pick:e4_pick;
+           Over.remove_vertex e4_over (e4_pick ()) ~pick:e4_pick))
+  in
+  let e5_engine = small_engine ~walk_mode:Params.Exact_walk () in
+  let e5 =
+    Test.make ~name:"E5 randCl (exact biased CTRW)"
+      (Staged.stage (fun () -> ignore (Engine.rand_cl e5_engine ())))
+  in
+  let e6 =
+    Test.make ~name:"E6 initialisation (n0=128)"
+      (Staged.stage (fun () ->
+           let params = Params.make ~n_max:(1 lsl 10) ~k:3 ~tau:0.15 () in
+           let rng = Rng.create 6L in
+           ignore (Engine.create ~seed:6L params ~initial:(population rng 128 0.15))))
+  in
+  let e7_engine = small_engine () in
+  let e7 =
+    Test.make ~name:"E7 join+leave pair"
+      (Staged.stage (fun () ->
+           ignore (Engine.join e7_engine Node.Honest);
+           ignore (Engine.leave e7_engine (Engine.random_node e7_engine))))
+  in
+  let e8_engine = small_engine () in
+  let e8 =
+    Test.make ~name:"E8 clustered broadcast"
+      (Staged.stage (fun () ->
+           ignore (Apps.Broadcast.run e8_engine ~origin:(Engine.random_node e8_engine))))
+  in
+  let e9_graph = Dsgraph.Gen.ring ~n:64 in
+  let e9_rng = Rng.of_int 9 in
+  let e9 =
+    Test.make ~name:"E9 plain CTRW walk"
+      (Staged.stage (fun () ->
+           ignore (Randwalk.Ctrw.walk e9_graph e9_rng ~start:0 ~duration:12.0 ())))
+  in
+  let e10_engine = small_engine () in
+  let e10_driver =
+    Adversary.create ~tau:0.15 ~strategy:(Adversary.Grow_shrink 64) e10_engine
+  in
+  let e10 =
+    Test.make ~name:"E10 grow-shrink sweep step"
+      (Staged.stage (fun () -> Adversary.step e10_driver))
+  in
+  let f1_engine = small_engine () in
+  let f1 =
+    Test.make ~name:"F1 maintenance op (vs init)"
+      (Staged.stage (fun () ->
+           ignore (Engine.join f1_engine Node.Honest);
+           ignore (Engine.leave f1_engine (Engine.random_node f1_engine))))
+  in
+  let f2_cfg =
+    Cluster.Config.build_uniform ~rng:(Rng.of_int 12) ~n_clusters:4 ~cluster_size:9
+      ~byz_per_cluster:2 ~overlay_degree:3 ()
+  in
+  let f2 =
+    Test.make ~name:"F2 message-level exchange of one node"
+      (Staged.stage (fun () ->
+           match Cluster.Exchange.exchange_node f2_cfg ~node:3 with
+           | Ok _ -> ()
+           | Error _ -> ()))
+  in
+  let e11_engine =
+    let params =
+      Params.make ~n_max:(1 lsl 10) ~k:3 ~tau:0.25 ~epsilon:0.05
+        ~walk_mode:Params.Direct_sample ()
+    in
+    let rng = Rng.create 43L in
+    Engine.create ~seed:43L params ~initial:(population rng 300 0.25)
+  in
+  let e11_driver =
+    Adversary.create ~tau:0.25 ~strategy:Adversary.Target_cluster e11_engine
+  in
+  let e11 =
+    Test.make ~name:"E11 step under 1/r adversary"
+      (Staged.stage (fun () -> Adversary.step e11_driver))
+  in
+  let a1_engine =
+    let params =
+      Params.make ~n_max:(1 lsl 10) ~k:3 ~tau:0.15 ~walk_mode:Params.Direct_sample
+        ~merge_policy:Params.Rejoin_self ()
+    in
+    let rng = Rng.create 44L in
+    Engine.create ~seed:44L params ~initial:(population rng 300 0.15)
+  in
+  let a1_rng = Rng.of_int 45 in
+  let a1 =
+    Test.make ~name:"A1 churn step (rejoin-self merges)"
+      (Staged.stage (fun () ->
+           if Rng.bool a1_rng then ignore (Engine.join a1_engine Node.Honest)
+           else ignore (Engine.leave a1_engine (Engine.random_node a1_engine))))
+  in
+  let a2_engine =
+    let params =
+      Params.make ~n_max:(1 lsl 10) ~k:3 ~tau:0.15 ~walk_duration_c:4.0
+        ~walk_mode:Params.Exact_walk ()
+    in
+    let rng = Rng.create 46L in
+    Engine.create ~seed:46L params ~initial:(population rng 300 0.15)
+  in
+  let a2 =
+    Test.make ~name:"A2 randCl with doubled duration"
+      (Staged.stage (fun () -> ignore (Engine.rand_cl a2_engine ())))
+  in
+  let e12_cfg =
+    Cluster.Config.build_uniform ~rng:(Rng.of_int 47) ~n_clusters:5 ~cluster_size:10
+      ~byz_per_cluster:1 ~overlay_degree:3 ()
+  in
+  let e12_next = ref 500_000 in
+  let e12 =
+    Test.make ~name:"E12 message-level join+leave (end-to-end)"
+      (Staged.stage (fun () ->
+           incr e12_next;
+           (match Cluster.Ops.join e12_cfg ~node:!e12_next ~contact:0 () with
+           | Ok _ -> ()
+           | Error _ -> ());
+           match Cluster.Ops.leave e12_cfg ~node:!e12_next () with
+           | Ok _ -> ()
+           | Error _ -> ()))
+  in
+  [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; f1; f2; a1; a2 ]
+
+let run_micro () =
+  print_endline "== Bechamel micro-benchmarks (one per experiment) ==";
+  let tests = micro_tests () in
+  let grouped = Test.make_grouped ~name:"now" tests in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.3) ~kde:None () in
+  let raw = Benchmark.all cfg [ Toolkit.Instance.monotonic_clock ] grouped in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold (fun name est acc -> (name, est) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  let table =
+    Metrics.Table.create ~title:"micro-benchmarks (monotonic clock)"
+      ~columns:[ "benchmark"; "time per run"; "r^2" ]
+  in
+  List.iter
+    (fun (name, est) ->
+      let ns = Analyze.OLS.estimates est in
+      let time_ns = match ns with Some (t :: _) -> t | _ -> nan in
+      let pretty =
+        if Float.is_nan time_ns then "n/a"
+        else if time_ns > 1e9 then Printf.sprintf "%.2f s" (time_ns /. 1e9)
+        else if time_ns > 1e6 then Printf.sprintf "%.2f ms" (time_ns /. 1e6)
+        else if time_ns > 1e3 then Printf.sprintf "%.2f us" (time_ns /. 1e3)
+        else Printf.sprintf "%.0f ns" time_ns
+      in
+      let r2 =
+        match Analyze.OLS.r_square est with Some r -> Printf.sprintf "%.3f" r | None -> "-"
+      in
+      Metrics.Table.add_row table
+        [ Metrics.Table.S name; Metrics.Table.S pretty; Metrics.Table.S r2 ])
+    rows;
+  Metrics.Table.print table
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let skip_micro = List.mem "--skip-micro" args in
+  let ids =
+    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
+  in
+  let mode = if full then Harness.Common.Full else Harness.Common.Quick in
+  Printf.printf
+    "NOW/OVER reproduction bench — experiments %s in %s mode\n\n%!"
+    (match ids with [] -> "E1..E12, F1, F2, A1, A2" | _ -> String.concat ", " ids)
+    (if full then "FULL" else "QUICK");
+  let results = Harness.Registry.run_ids ~mode ids in
+  let ok = List.length (List.filter (fun r -> r.Harness.Common.ok) results) in
+  Printf.printf "==> %d/%d experiments reproduce the paper's shape.\n\n%!" ok
+    (List.length results);
+  if not skip_micro then run_micro ();
+  if ok < List.length results then exit 1

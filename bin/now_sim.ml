@@ -1,0 +1,288 @@
+(* now_sim — command-line driver for the NOW/OVER reproduction.
+
+   Sub-commands:
+     experiments   run the paper-reproduction experiment suite (E1..E12, F1-F2, A1-A2)
+     churn         run a free-form adversarial churn simulation
+     resume        resume a churn simulation from a saved snapshot
+     init          run only the initialisation phase and report its cost *)
+
+open Cmdliner
+
+module Engine = Now_core.Engine
+module Params = Now_core.Params
+module Node = Now_core.Node
+module Rng = Prng.Rng
+
+(* ---------------- shared options ---------------- *)
+
+let seed_t =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let n_max_t =
+  Arg.(
+    value
+    & opt int (1 lsl 14)
+    & info [ "n-max" ] ~docv:"N" ~doc:"Name-space bound N (max network size).")
+
+let n0_t =
+  Arg.(
+    value & opt int 1000
+    & info [ "n0" ] ~docv:"N0" ~doc:"Initial network size (>= sqrt N).")
+
+let k_t =
+  Arg.(
+    value & opt int 8
+    & info [ "k" ] ~docv:"K" ~doc:"Cluster-size security parameter (|C| ~ k log2 N).")
+
+let tau_t =
+  Arg.(
+    value & opt float 0.15
+    & info [ "tau" ] ~docv:"TAU" ~doc:"Fraction of Byzantine nodes (< 1/3).")
+
+let exact_walk_t =
+  Arg.(
+    value & flag
+    & info [ "exact-walk" ]
+        ~doc:"Run real biased CTRWs for randCl instead of direct sampling.")
+
+let no_shuffle_t =
+  Arg.(
+    value & flag
+    & info [ "no-shuffle" ]
+        ~doc:"Disable the exchange shuffling (the vulnerable baseline).")
+
+let verbose_t =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Log protocol events (splits, merges, violations).")
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let make_params ~n_max ~k ~tau ~exact_walk ~no_shuffle =
+  Params.make ~n_max ~k ~tau
+    ~walk_mode:(if exact_walk then Params.Exact_walk else Params.Direct_sample)
+    ~shuffle_on_churn:(not no_shuffle) ()
+
+let make_engine ~seed ~params ~n0 ~tau =
+  let rng = Rng.of_int (seed + 1) in
+  let initial = Harness.Common.initial_population rng ~n:n0 ~tau in
+  Engine.create ~seed:(Int64.of_int seed) params ~initial
+
+(* ---------------- experiments ---------------- *)
+
+let experiments_cmd =
+  let ids_t =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"ID"
+          ~doc:"Experiment ids (E1..E12, F1, F2, A1, A2); default all.")
+  in
+  let full_t =
+    Arg.(value & flag & info [ "full" ] ~doc:"EXPERIMENTS.md scale (slow).")
+  in
+  let csv_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each result table as DIR/<id>.csv.")
+  in
+  let list_t =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the experiment ids and exit.")
+  in
+  let run ids full csv list =
+    if list then begin
+      List.iter (fun (id, _) -> print_endline id) Harness.Registry.all;
+      `Ok ()
+    end
+    else begin
+    let mode = if full then Harness.Common.Full else Harness.Common.Quick in
+    let results = Harness.Registry.run_ids ~mode ids in
+    (match csv with
+    | None -> ()
+    | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter
+        (fun r ->
+          let path = Filename.concat dir (r.Harness.Common.id ^ ".csv") in
+          let oc = open_out path in
+          output_string oc (Metrics.Table.to_csv r.Harness.Common.table);
+          close_out oc;
+          Printf.printf "wrote %s\n" path)
+        results);
+    let ok = List.length (List.filter (fun r -> r.Harness.Common.ok) results) in
+    Printf.printf "==> %d/%d experiments reproduce the paper's shape.\n" ok
+      (List.length results);
+    if ok = List.length results then `Ok ()
+    else `Error (false, "some experiments mismatched")
+    end
+  in
+  let term = Term.(ret (const run $ ids_t $ full_t $ csv_t $ list_t)) in
+  Cmd.v
+    (Cmd.info "experiments"
+       ~doc:"Run the paper-reproduction experiment suite (DESIGN.md section 4).")
+    term
+
+(* ---------------- churn ---------------- *)
+
+let strategy_t =
+  let strategy_conv =
+    Arg.enum
+      [
+        ("random", `Random);
+        ("target", `Target);
+        ("dos", `Dos);
+        ("grow-shrink", `Grow_shrink);
+      ]
+  in
+  Arg.(
+    value & opt strategy_conv `Random
+    & info [ "strategy" ] ~docv:"STRATEGY"
+        ~doc:"Adversary strategy: $(b,random), $(b,target), $(b,dos) or \
+              $(b,grow-shrink).")
+
+let steps_t =
+  Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"STEPS" ~doc:"Time steps to run.")
+
+let snapshot_out_t =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save-snapshot" ] ~docv:"FILE"
+        ~doc:"Write the final engine state to FILE (resume with $(b,resume)).")
+
+let strategy_of = function
+  | `Random -> Adversary.Random_churn 0.5
+  | `Target -> Adversary.Target_cluster
+  | `Dos -> Adversary.Dos_honest
+  | `Grow_shrink steps -> Adversary.Grow_shrink (max 1 (steps / 4))
+
+let drive_and_report ~engine ~seed ~tau ~strategy ~steps ~snapshot_out =
+  let driver =
+    Adversary.create ~seed:(Int64.of_int (seed + 7)) ~tau ~strategy engine
+  in
+  let sample d =
+    Printf.printf
+      "step %6d  n=%6d  #C=%4d  min honest=%.3f  target byz=%.3f  events=%d\n%!"
+      (Adversary.steps_done d) (Engine.n_nodes engine) (Engine.n_clusters engine)
+      (Engine.min_honest_fraction engine)
+      (Adversary.target_byz_fraction d)
+      (Engine.violation_events engine)
+  in
+  Adversary.run ~steps_per_sample:(max 1 (steps / 10)) driver ~steps ~on_sample:sample;
+  Engine.check_invariants engine;
+  let h = Engine.overlay_health engine in
+  Printf.printf "\nsummary after %d steps (%s):\n" steps
+    (Adversary.strategy_name strategy);
+  Printf.printf "  honest-fraction floor : %.3f\n"
+    (Adversary.min_honest_fraction_seen driver);
+  Printf.printf "  standing violations   : %d (events: %d)\n"
+    (Engine.violations_now engine)
+    (Engine.violation_events engine);
+  Printf.printf "  overlay               : %s\n" (Format.asprintf "%a" Over.pp_health h);
+  Printf.printf "  total messages        : %d\n"
+    (Metrics.Ledger.total_messages (Engine.ledger engine));
+  let t = Engine.totals engine in
+  Printf.printf "  lifetime ops          : %d joins, %d leaves, %d splits, %d \
+                 merges, %d rejoins\n"
+    t.Engine.total_joins t.Engine.total_leaves t.Engine.total_splits
+    t.Engine.total_merges t.Engine.total_rejoins;
+  match snapshot_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Engine.save engine);
+    close_out oc;
+    Printf.printf "  snapshot saved        : %s\n" path
+
+let churn_cmd =
+  let run seed n_max n0 k tau exact_walk no_shuffle strategy steps verbose
+      snapshot_out =
+    setup_logs verbose;
+    let params = make_params ~n_max ~k ~tau ~exact_walk ~no_shuffle in
+    Printf.printf "parameters: %s\n" (Format.asprintf "%a" Params.pp params);
+    let engine = make_engine ~seed ~params ~n0 ~tau in
+    Printf.printf "initialised: n=%d clusters=%d min honest=%.3f\n%!"
+      (Engine.n_nodes engine) (Engine.n_clusters engine)
+      (Engine.min_honest_fraction engine);
+    let strategy =
+      match strategy with
+      | `Grow_shrink -> strategy_of (`Grow_shrink steps)
+      | (`Random | `Target | `Dos) as s -> strategy_of s
+    in
+    drive_and_report ~engine ~seed ~tau ~strategy ~steps ~snapshot_out
+  in
+  let term =
+    Term.(
+      const run $ seed_t $ n_max_t $ n0_t $ k_t $ tau_t $ exact_walk_t
+      $ no_shuffle_t $ strategy_t $ steps_t $ verbose_t $ snapshot_out_t)
+  in
+  Cmd.v
+    (Cmd.info "churn"
+       ~doc:"Run an adversarial churn simulation and report safety metrics.")
+    term
+
+(* ---------------- resume ---------------- *)
+
+let resume_cmd =
+  let snapshot_in_t =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "snapshot" ] ~docv:"FILE" ~doc:"Snapshot written by $(b,churn --save-snapshot).")
+  in
+  let run seed snapshot_path strategy steps verbose snapshot_out =
+    setup_logs verbose;
+    let ic = open_in snapshot_path in
+    let len = in_channel_length ic in
+    let data = really_input_string ic len in
+    close_in ic;
+    let engine = Engine.load data in
+    let tau = (Engine.params engine).Params.tau in
+    Printf.printf "resumed: n=%d clusters=%d at time step %d\n%!"
+      (Engine.n_nodes engine) (Engine.n_clusters engine) (Engine.time_step engine);
+    let strategy =
+      match strategy with
+      | `Grow_shrink -> strategy_of (`Grow_shrink steps)
+      | (`Random | `Target | `Dos) as s -> strategy_of s
+    in
+    drive_and_report ~engine ~seed ~tau ~strategy ~steps ~snapshot_out
+  in
+  let term =
+    Term.(
+      const run $ seed_t $ snapshot_in_t $ strategy_t $ steps_t $ verbose_t
+      $ snapshot_out_t)
+  in
+  Cmd.v
+    (Cmd.info "resume" ~doc:"Resume a churn simulation from a saved snapshot.")
+    term
+
+(* ---------------- init ---------------- *)
+
+let init_cmd =
+  let run seed n_max n0 k tau =
+    let params = make_params ~n_max ~k ~tau ~exact_walk:false ~no_shuffle:false in
+    let engine = make_engine ~seed ~params ~n0 ~tau in
+    let r = Engine.init_report engine in
+    Printf.printf "initialisation report (n0 = %d, N = %d):\n" r.Engine.n0 n_max;
+    Printf.printf "  bootstrap edges     : %d\n" r.Engine.bootstrap_edges;
+    Printf.printf "  discovery messages  : %d (rounds: %d)\n"
+      r.Engine.discovery_messages r.Engine.discovery_rounds;
+    Printf.printf "  agreement messages  : %d (rounds: %d, King-Saia model)\n"
+      r.Engine.agreement_messages r.Engine.agreement_rounds;
+    Printf.printf "  partition messages  : %d\n" r.Engine.partition_messages;
+    Printf.printf "  clusters formed     : %d (target size %d)\n"
+      r.Engine.initial_clusters
+      (Params.target_cluster_size params);
+    Printf.printf "  min honest fraction : %.3f\n" (Engine.min_honest_fraction engine)
+  in
+  let term = Term.(const run $ seed_t $ n_max_t $ n0_t $ k_t $ tau_t) in
+  Cmd.v
+    (Cmd.info "init" ~doc:"Run only the initialisation phase and report its cost.")
+    term
+
+let () =
+  let doc = "NOW/OVER — Byzantine-tolerant clustering for highly dynamic networks" in
+  let info = Cmd.info "now_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ experiments_cmd; churn_cmd; resume_cmd; init_cmd ]))

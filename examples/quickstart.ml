@@ -1,0 +1,65 @@
+(* Quickstart: build a NOW network, watch it absorb churn, inspect its
+   state.  Run with:  dune exec examples/quickstart.exe *)
+
+module Engine = Now_core.Engine
+module Params = Now_core.Params
+module Node = Now_core.Node
+module Rng = Prng.Rng
+
+let () =
+  (* 1. Choose protocol parameters: name-space bound N, cluster security
+     parameter k, Byzantine fraction tau. *)
+  let params = Params.make ~n_max:(1 lsl 12) ~k:4 ~tau:0.15 () in
+  Format.printf "parameters: %a@." Params.pp params;
+
+  (* 2. The initial population: the static adversary corrupts 15%% of the
+     initial nodes (it may corrupt from the very beginning). *)
+  let rng = Rng.of_int 2024 in
+  let initial =
+    List.init 500 (fun _ ->
+        if Rng.bernoulli rng 0.15 then Node.Byzantine else Node.Honest)
+  in
+
+  (* 3. Initialisation phase: discovery, agreement, clusterisation. *)
+  let engine = Engine.create ~seed:2024L params ~initial in
+  Format.printf "initialised: %d nodes in %d clusters, min honest fraction %.3f@."
+    (Engine.n_nodes engine) (Engine.n_clusters engine)
+    (Engine.min_honest_fraction engine);
+
+  (* 4. Maintenance phase: joins and leaves, each triggering the exchange
+     shuffling (plus splits and merges as sizes drift). *)
+  let joiner () = if Rng.bernoulli rng 0.15 then Node.Byzantine else Node.Honest in
+  for step = 1 to 200 do
+    if Rng.bool rng then begin
+      let _node, report = Engine.join engine (joiner ()) in
+      if report.Engine.splits > 0 then
+        Format.printf "  step %d: a cluster grew past l*k*log N and split@." step
+    end
+    else begin
+      let victim = Engine.random_node engine in
+      let report = Engine.leave engine victim in
+      if report.Engine.merges > 0 then
+        Format.printf "  step %d: a cluster shrank below k*log N / l and merged@." step
+    end
+  done;
+
+  (* 5. Inspect the state: every cluster must still be >2/3 honest and the
+     overlay must still be a well-connected expander. *)
+  Format.printf "after 200 operations: %d nodes, %d clusters@."
+    (Engine.n_nodes engine) (Engine.n_clusters engine);
+  Format.printf "  cluster sizes: %s@."
+    (String.concat ", " (List.map string_of_int (Engine.cluster_sizes engine)));
+  Format.printf "  min honest fraction: %.3f (violations: %d)@."
+    (Engine.min_honest_fraction engine)
+    (Engine.violations_now engine);
+  Format.printf "  overlay: %a@." Over.pp_health (Engine.overlay_health engine);
+
+  (* 6. Use the network: a Byzantine-proof broadcast over the clusters. *)
+  let b = Apps.Broadcast.run engine ~origin:(Engine.random_node engine) in
+  Format.printf
+    "  broadcast: reached %d/%d clusters with %d messages (flat flooding: %d)@."
+    b.Apps.Broadcast.clusters_reached (Engine.n_clusters engine)
+    b.Apps.Broadcast.messages
+    (Baseline.unclustered_broadcast_messages ~n:(Engine.n_nodes engine));
+  Engine.check_invariants engine;
+  Format.printf "all invariants hold.@."

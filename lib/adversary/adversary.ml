@@ -1,0 +1,175 @@
+module Engine = Now_core.Engine
+module Node = Now_core.Node
+module Params = Now_core.Params
+module Ct = Now_core.Cluster_table
+module Rng = Prng.Rng
+
+(* Re-export: [adversary.ml] is this library's root module, so siblings
+   must be surfaced explicitly. *)
+module Workload = Workload
+
+type strategy =
+  | Random_churn of float
+  | Target_cluster
+  | Dos_honest
+  | Grow_shrink of int
+  | Ambient of Workload.t
+
+let strategy_name = function
+  | Random_churn p -> Printf.sprintf "random-churn(%.2f)" p
+  | Target_cluster -> "target-cluster"
+  | Dos_honest -> "dos-honest"
+  | Grow_shrink p -> Printf.sprintf "grow-shrink(%d)" p
+  | Ambient w -> "ambient/" ^ Workload.name w
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  tau : float;
+  strategy : strategy;
+  n0 : int;  (* population at driver creation, workloads' reference point *)
+  mutable steps : int;
+  mutable joins : int;
+  mutable leaves : int;
+  mutable min_honest_seen : float;
+  mutable target : int option;
+}
+
+let create ?(seed = 0xADF0L) ~tau ~strategy engine =
+  {
+    engine;
+    rng = Rng.create seed;
+    tau;
+    strategy;
+    n0 = Engine.n_nodes engine;
+    steps = 0;
+    joins = 0;
+    leaves = 0;
+    min_honest_seen = Engine.min_honest_fraction engine;
+    target = None;
+  }
+
+let engine t = t.engine
+let steps_done t = t.steps
+let joins t = t.joins
+let leaves t = t.leaves
+
+let byz_fraction t = Node.Roster.byzantine_fraction (Engine.roster t.engine)
+
+let min_honest_fraction_seen t = t.min_honest_seen
+
+let is_byz t node =
+  Node.is_byzantine (Node.Roster.honesty (Engine.roster t.engine) node)
+
+(* Greedy static corruption: corrupt every joiner while the global budget
+   allows it (the strongest placement a tau-bounded static adversary can
+   achieve on arrivals). *)
+let joiner_honesty t =
+  let roster = Engine.roster t.engine in
+  let n = Node.Roster.count roster in
+  let byz = Node.Roster.byzantine_count roster in
+  if float_of_int (byz + 1) <= t.tau *. float_of_int (n + 1) then Node.Byzantine
+  else Node.Honest
+
+let do_join t =
+  ignore (Engine.join t.engine (joiner_honesty t));
+  t.joins <- t.joins + 1
+
+let do_leave t node =
+  ignore (Engine.leave t.engine node);
+  t.leaves <- t.leaves + 1
+
+(* The cluster where the adversary currently owns the largest fraction. *)
+let best_cluster_for_adversary t =
+  let tbl = Engine.table t.engine in
+  let best = ref None in
+  Ct.iter_clusters tbl (fun cid ->
+      let f = Ct.byz_fraction tbl cid in
+      match !best with
+      | Some (_, bf) when bf >= f -> ()
+      | _ -> best := Some (cid, f));
+  Option.map fst !best
+
+let target_byz_fraction t =
+  let tbl = Engine.table t.engine in
+  match t.target with
+  | Some cid when Ct.exists tbl cid -> Ct.byz_fraction tbl cid
+  | _ -> 0.0
+
+let refresh_target t =
+  let tbl = Engine.table t.engine in
+  (match t.target with
+  | Some cid when Ct.exists tbl cid -> ()
+  | _ -> t.target <- best_cluster_for_adversary t);
+  t.target
+
+let n_now t = Engine.n_nodes t.engine
+
+let at_min t = n_now t <= Params.min_network_size (Engine.params t.engine)
+
+let at_max t = n_now t >= (Engine.params t.engine).Params.n_max
+
+let strategy_step t =
+  match t.strategy with
+  | Random_churn p_join ->
+    if (Rng.bernoulli t.rng p_join || at_min t) && not (at_max t) then do_join t
+    else do_leave t (Engine.random_node t.engine)
+  | Target_cluster -> begin
+    match refresh_target t with
+    | None -> do_join t
+    | Some target ->
+      let outside_byz node =
+        is_byz t node && Ct.cluster_of (Engine.table t.engine) node <> target
+      in
+      (* Alternate: pull one of our nodes out, push a corrupted one in. *)
+      if t.steps mod 2 = 0 && not (at_min t) then begin
+        match Engine.random_node_where t.engine outside_byz with
+        | Some node -> do_leave t node
+        | None -> if not (at_max t) then do_join t
+      end
+      else if not (at_max t) then do_join t
+      else do_leave t (Engine.random_node t.engine)
+  end
+  | Dos_honest -> begin
+    match refresh_target t with
+    | None -> do_join t
+    | Some target ->
+      if t.steps mod 2 = 0 && not (at_min t) then begin
+        let tbl = Engine.table t.engine in
+        let honest_members =
+          List.filter (fun node -> not (is_byz t node)) (Ct.members tbl target)
+        in
+        match honest_members with
+        | [] -> do_leave t (Engine.random_node t.engine)
+        | _ :: _ -> do_leave t (Rng.pick t.rng (Array.of_list honest_members))
+      end
+      else if not (at_max t) then do_join t
+      else do_leave t (Engine.random_node t.engine)
+  end
+  | Grow_shrink period ->
+    let phase = t.steps / max 1 period mod 2 in
+    if (phase = 0 || at_min t) && not (at_max t) then do_join t
+    else do_leave t (Engine.random_node t.engine)
+  | Ambient workload -> begin
+    let op =
+      Workload.plan workload t.rng ~step:t.steps ~n:(n_now t) ~n0:t.n0
+    in
+    match op with
+    | Workload.Join ->
+      if at_max t then do_leave t (Engine.random_node t.engine) else do_join t
+    | Workload.Leave ->
+      if at_min t then do_join t else do_leave t (Engine.random_node t.engine)
+  end
+
+let step t =
+  strategy_step t;
+  t.steps <- t.steps + 1;
+  let f = Engine.min_honest_fraction t.engine in
+  if f < t.min_honest_seen then t.min_honest_seen <- f
+
+let run ?(steps_per_sample = 100) t ~steps ~on_sample =
+  for i = 1 to steps do
+    step t;
+    if i mod steps_per_sample = 0 then on_sample t
+  done;
+  if steps mod steps_per_sample <> 0 then on_sample t

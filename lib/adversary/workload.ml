@@ -1,0 +1,27 @@
+type t =
+  | Poisson of { join_ratio : float }
+  | Flash_crowd of { arrive_at : int; size : int; depart_at : int }
+  | Diurnal of { period : int; amplitude : float }
+
+type op = Join | Leave
+
+let name = function
+  | Poisson { join_ratio } -> Printf.sprintf "poisson(%.2f)" join_ratio
+  | Flash_crowd { arrive_at; size; depart_at } ->
+    Printf.sprintf "flash-crowd(+%d@%d,-@%d)" size arrive_at depart_at
+  | Diurnal { period; amplitude } ->
+    Printf.sprintf "diurnal(period=%d,amp=%.2f)" period amplitude
+
+let plan t rng ~step ~n ~n0 =
+  match t with
+  | Poisson { join_ratio } ->
+    if Prng.Rng.bernoulli rng join_ratio then Join else Leave
+  | Flash_crowd { arrive_at; size; depart_at } ->
+    if step >= arrive_at && step < arrive_at + size then Join
+    else if step >= depart_at && n > n0 then Leave
+    else if Prng.Rng.bool rng then Join
+    else Leave
+  | Diurnal { period; amplitude } ->
+    let phase = 2.0 *. Float.pi *. float_of_int step /. float_of_int (max 1 period) in
+    let target = float_of_int n0 *. (1.0 +. (amplitude *. sin phase)) in
+    if float_of_int n < target then Join else Leave

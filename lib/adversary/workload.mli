@@ -1,0 +1,33 @@
+(** Synthetic churn workloads.
+
+    The adversary strategies in {!Adversary} model {e hostile} churn; this
+    module models the {e ambient} churn patterns a deployed system would
+    face — the "highly dynamic" environments the paper's introduction
+    motivates.  A workload decides, per time step, whether the next
+    operation is an arrival or a departure; the driver still applies the
+    static adversary's greedy corruption to arrivals.
+
+    Patterns:
+    - {!constructor:Poisson}: memoryless arrivals/departures with a drift
+      ratio (ratio 0.5 = stationary);
+    - {!constructor:Flash_crowd}: a burst of arrivals at a given step, a
+      mass exodus later — the flash-crowd / breaking-news pattern;
+    - {!constructor:Diurnal}: the population tracks a sinusoid — the
+      day/night cycle of user-facing P2P systems. *)
+
+type t =
+  | Poisson of { join_ratio : float }
+      (** each step is a join with this probability *)
+  | Flash_crowd of { arrive_at : int; size : int; depart_at : int }
+      (** [size] extra joins starting at step [arrive_at]; from step
+          [depart_at] the surplus leaves *)
+  | Diurnal of { period : int; amplitude : float }
+      (** target size [n0 * (1 + amplitude * sin (2 pi step / period))] *)
+
+type op = Join | Leave
+
+val name : t -> string
+
+val plan : t -> Prng.Rng.t -> step:int -> n:int -> n0:int -> op
+(** Decide the operation for [step] given the current population [n] and
+    the initial population [n0]. *)

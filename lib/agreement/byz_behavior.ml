@@ -1,0 +1,19 @@
+type t =
+  | Silent
+  | Fixed of int
+  | Equivocate of int * int
+  | Random_noise of int
+
+let value_for t rng ~dst ~split_at ~honest_value =
+  ignore honest_value;
+  match t with
+  | Silent -> None
+  | Fixed v -> Some v
+  | Equivocate (v1, v2) -> Some (if dst < split_at then v1 else v2)
+  | Random_noise _ -> Some (Prng.Rng.int rng 2)
+
+let rng_of = function
+  | Silent -> Prng.Rng.of_int 1
+  | Fixed v -> Prng.Rng.of_int (17 * v)
+  | Equivocate (v1, v2) -> Prng.Rng.of_int ((31 * v1) + v2)
+  | Random_noise seed -> Prng.Rng.of_int seed

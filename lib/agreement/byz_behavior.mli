@@ -1,0 +1,22 @@
+(** Byzantine behaviours used across the message-level protocols.
+
+    The adversary of Section 2 is static with full knowledge: it corrupts a
+    set of nodes up-front and they may send arbitrary messages under their
+    own identities.  These strategies cover the standard attack shapes;
+    protocol test suites run each protocol against all of them. *)
+
+type t =
+  | Silent  (** sends nothing (crash-like, but never detected as crashed) *)
+  | Fixed of int  (** always claims the given value *)
+  | Equivocate of int * int
+      (** sends the first value to the lower half of the receiver ids and
+          the second to the upper half *)
+  | Random_noise of int  (** fresh pseudo-random value per message; seeded *)
+
+val value_for : t -> Prng.Rng.t -> dst:int -> split_at:int -> honest_value:int -> int option
+(** What a Byzantine node under this strategy sends to [dst] when the
+    protocol expects it to send [honest_value]; [None] means stay silent.
+    [split_at] is the id threshold used by [Equivocate]. *)
+
+val rng_of : t -> Prng.Rng.t
+(** A generator seeded from the strategy (deterministic per strategy). *)

@@ -1,0 +1,136 @@
+module Net = Simkernel.Net
+
+type msg = Report of int list * int  (* (path, claimed value) *)
+
+type outcome = {
+  decisions : (int * int) list;
+  rounds : int;
+  messages : int;
+}
+
+let max_faulty n = (n - 1) / 3
+
+let tree_size ~n ~t =
+  (* 1 + n + n(n-1) + ... + n(n-1)...(n-t): paths of distinct ids, length <= t+1 *)
+  let rec go depth choices acc level =
+    if depth > t + 1 then acc
+    else
+      let level = level * choices in
+      go (depth + 1) (choices - 1) (acc + level) level
+  in
+  go 1 n 1 1
+
+type node_state = {
+  tree : (int list, int) Hashtbl.t;
+  mutable decision : int option;
+}
+
+let run ?ledger ?(default = 0) ?(max_tree = 2_000_000) ~committee ~input ~byzantine () =
+  let committee = List.sort_uniq compare committee in
+  let n = List.length committee in
+  if n = 0 then invalid_arg "Eig.run: empty committee";
+  let t = max_faulty n in
+  if tree_size ~n ~t > max_tree then
+    invalid_arg "Eig.run: information tree too large for this committee";
+  let net = Net.create ?ledger () in
+  let split_at = List.nth committee (n / 2) in
+  let states = Hashtbl.create n in
+  let honest = List.filter (fun id -> byzantine id = None) committee in
+  (* Store an incoming report.  Senders append themselves to the path. *)
+  let store tree ~sender ~path ~value ~expected_len =
+    if List.length path = expected_len && not (List.mem sender path) then
+      Hashtbl.replace tree (path @ [ sender ]) value
+  in
+  (* Entries of level [len] (paths of that length) in insertion-agnostic
+     deterministic order. *)
+  let level tree len =
+    Hashtbl.fold
+      (fun path v acc -> if List.length path = len then (path, v) :: acc else acc)
+      tree []
+    |> List.sort compare
+  in
+  let handler id strategy =
+    let st = { tree = Hashtbl.create 64; decision = None } in
+    Hashtbl.replace states id st;
+    Hashtbl.replace st.tree [] (input id);
+    let rng =
+      match strategy with
+      | Some s -> Byz_behavior.rng_of s
+      | None -> Prng.Rng.of_int 0
+    in
+    fun ~round ~inbox ->
+      (* Absorb reports broadcast last round (level round-2 paths). *)
+      if round >= 2 then
+        List.iter
+          (fun (sender, Report (path, value)) ->
+            store st.tree ~sender ~path ~value ~expected_len:(round - 2))
+          inbox;
+      (* Broadcast this round's level (paths of length round-1). *)
+      if round <= t + 1 then
+        List.iter
+          (fun (path, value) ->
+            if List.length (path @ [ id ]) <= t + 1 then
+              match strategy with
+              | None ->
+                Net.multicast net ~src:id ~dsts:committee ~label:"eig.report"
+                  (Report (path, value))
+              | Some s ->
+                List.iter
+                  (fun dst ->
+                    match
+                      Byz_behavior.value_for s rng ~dst ~split_at ~honest_value:value
+                    with
+                    | Some v ->
+                      Net.send net ~src:id ~dst ~label:"eig.report" (Report (path, v))
+                    | None -> ())
+                  committee)
+          (level st.tree (round - 1))
+  in
+  List.iter (fun id -> Net.add_node net ~id (handler id (byzantine id))) committee;
+  let total_rounds = t + 2 in
+  Net.run_rounds net total_rounds;
+  (* Recursive-majority resolution over the gathered tree. *)
+  let resolve tree =
+    let rec go path =
+      if List.length path = t + 1 then
+        match Hashtbl.find_opt tree path with Some v -> v | None -> default
+      else begin
+        let children =
+          List.filter_map
+            (fun j -> if List.mem j path then None else Some (go (path @ [ j ])))
+            committee
+        in
+        let counts = Hashtbl.create 8 in
+        List.iter
+          (fun v ->
+            let c = match Hashtbl.find_opt counts v with Some c -> c | None -> 0 in
+            Hashtbl.replace counts v (c + 1))
+          children;
+        let total = List.length children in
+        match
+          Hashtbl.fold
+            (fun v c best ->
+              if 2 * c > total then Some v
+              else best)
+            counts None
+        with
+        | Some v -> v
+        | None -> default
+      end
+    in
+    go []
+  in
+  List.iter
+    (fun id ->
+      let st = Hashtbl.find states id in
+      st.decision <- Some (resolve st.tree))
+    honest;
+  let decisions =
+    List.map
+      (fun id ->
+        match (Hashtbl.find states id).decision with
+        | Some v -> (id, v)
+        | None -> assert false)
+      honest
+  in
+  { decisions; rounds = total_rounds; messages = Net.messages_sent net }

@@ -1,0 +1,40 @@
+(** Exponential-Information-Gathering Byzantine agreement.
+
+    Classic EIG (Pease–Shostak–Lamport / Bar-Noy–Dolev formulation):
+    optimal resilience [t < n/3] in [t + 1] communication rounds, at the
+    price of an information tree whose size grows as n^(t+1) — so this
+    implementation is intended for the paper's small, logarithmic-size
+    committees (the representative cluster of the initialisation phase).
+
+    Each node relays, round after round, what it heard about what others
+    heard (paths of distinct node ids index the tree); after [t+1] rounds
+    every honest node decides by recursive majority over the tree.
+
+    Byzantine members here are structure-honest but value-dishonest: they
+    relay the tree shape the protocol expects while corrupting the values
+    per their {!Byz_behavior.t} (including per-receiver equivocation),
+    or stay silent.  Missing entries resolve to the [default] value. *)
+
+type outcome = {
+  decisions : (int * int) list;  (** (honest node id, decided value) *)
+  rounds : int;
+  messages : int;
+}
+
+val max_faulty : int -> int
+(** [max_faulty n] = largest [t] with [3t < n]. *)
+
+val tree_size : n:int -> t:int -> int
+(** Number of tree paths — a guard against accidentally huge committees. *)
+
+val run :
+  ?ledger:Metrics.Ledger.t ->
+  ?default:int ->
+  ?max_tree:int ->
+  committee:int list ->
+  input:(int -> int) ->
+  byzantine:(int -> Byz_behavior.t option) ->
+  unit ->
+  outcome
+(** Runs EIG with [t = max_faulty n].  Raises [Invalid_argument] when the
+    tree would exceed [max_tree] (default 2_000_000) paths. *)

@@ -1,0 +1,132 @@
+module Net = Simkernel.Net
+
+type msg = Value of int | King of int
+
+type outcome = {
+  decisions : (int * int) list;
+  rounds : int;
+  messages : int;
+}
+
+let max_faulty n = (n - 1) / 4
+
+type node_state = {
+  mutable value : int;
+  mutable majority : int;
+  mutable majority_count : int;
+  mutable decided : bool;
+}
+
+(* Most frequent value among [(sender, v)] pairs; ties break toward the
+   smaller value for determinism. *)
+let tally values =
+  let counts = Hashtbl.create 16 in
+  List.iter
+    (fun (_, v) ->
+      let c = match Hashtbl.find_opt counts v with Some c -> c | None -> 0 in
+      Hashtbl.replace counts v (c + 1))
+    values;
+  Hashtbl.fold
+    (fun v c best ->
+      match best with
+      | None -> Some (v, c)
+      | Some (bv, bc) -> if c > bc || (c = bc && v < bv) then Some (v, c) else best)
+    counts None
+
+let run ?ledger ~committee ~input ~byzantine () =
+  let committee = List.sort_uniq compare committee in
+  let n = List.length committee in
+  if n = 0 then invalid_arg "Phase_king.run: empty committee";
+  let t = max_faulty n in
+  let phases = t + 1 in
+  let net = Net.create ?ledger () in
+  let kings = Array.of_list committee in
+  let split_at = kings.(n / 2) in
+  let states = Hashtbl.create n in
+  let honest = List.filter (fun id -> byzantine id = None) committee in
+  (* Phase structure: round 2p+1 = value exchange of phase p (and adoption
+     of phase p-1's king value); round 2p+2 = king broadcast of phase p.
+     One extra round (2*phases + 1) lets nodes absorb the last king. *)
+  let phase_of round = (round - 1) / 2 in
+  let is_exchange_round round = (round - 1) mod 2 = 0 in
+  let honest_handler id =
+    let st = { value = input id; majority = input id; majority_count = 0; decided = false } in
+    Hashtbl.replace states id st;
+    fun ~round ~inbox ->
+      if not st.decided then begin
+        let p = phase_of round in
+        if is_exchange_round round then begin
+          (* Close the previous phase: keep our majority value if it was
+             strong (seen more than n/2 + t times), otherwise adopt the
+             king's value — or the majority anyway if the king was silent. *)
+          if p > 0 then begin
+            let king_value =
+              List.find_map
+                (fun (sender, m) ->
+                  match m with
+                  | King v when sender = kings.((p - 1) mod n) -> Some v
+                  | King _ | Value _ -> None)
+                inbox
+            in
+            match king_value with
+            | Some v when st.majority_count * 2 <= n + (2 * t) -> st.value <- v
+            | Some _ | None -> st.value <- st.majority
+          end;
+          if p >= phases then st.decided <- true
+          else Net.multicast net ~src:id ~dsts:committee ~label:"pk.value" (Value st.value)
+        end
+        else begin
+          let values =
+            List.filter_map
+              (fun (s, m) -> match m with Value v -> Some (s, v) | King _ -> None)
+              inbox
+          in
+          (match tally values with
+          | Some (v, c) ->
+            st.majority <- v;
+            st.majority_count <- c
+          | None ->
+            st.majority <- st.value;
+            st.majority_count <- 0);
+          if kings.(p mod n) = id then
+            Net.multicast net ~src:id ~dsts:committee ~label:"pk.king" (King st.majority)
+        end
+      end
+  in
+  let byz_handler id strategy =
+    let rng = Byz_behavior.rng_of strategy in
+    fun ~round ~inbox ->
+      ignore inbox;
+      let p = phase_of round in
+      if p < phases then
+        if is_exchange_round round then
+          List.iter
+            (fun dst ->
+              match
+                Byz_behavior.value_for strategy rng ~dst ~split_at ~honest_value:0
+              with
+              | Some v -> Net.send net ~src:id ~dst ~label:"pk.value" (Value v)
+              | None -> ())
+            committee
+        else if kings.(p mod n) = id then
+          List.iter
+            (fun dst ->
+              match
+                Byz_behavior.value_for strategy rng ~dst ~split_at ~honest_value:0
+              with
+              | Some v -> Net.send net ~src:id ~dst ~label:"pk.king" (King v)
+              | None -> ())
+            committee
+  in
+  List.iter
+    (fun id ->
+      match byzantine id with
+      | None -> Net.add_node net ~id (honest_handler id)
+      | Some strategy -> Net.add_node net ~id (byz_handler id strategy))
+    committee;
+  let total_rounds = (2 * phases) + 1 in
+  Net.run_rounds net total_rounds;
+  let decisions =
+    List.map (fun id -> (id, (Hashtbl.find states id).value)) honest
+  in
+  { decisions; rounds = total_rounds; messages = Net.messages_sent net }

@@ -1,0 +1,125 @@
+module Net = Simkernel.Net
+
+type msg = Init of int | Echo of int | Ready of int
+
+type outcome = {
+  delivered : (int * int option) list;
+  rounds : int;
+  messages : int;
+  consistent : bool;
+}
+
+let max_faulty n = (n - 1) / 3
+
+type state = {
+  mutable echoed : bool;
+  mutable readied : bool;
+  mutable delivered_value : int option;
+  echoes : (int, (int, unit) Hashtbl.t) Hashtbl.t;  (* value -> senders *)
+  readys : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+}
+
+let count tbl v =
+  match Hashtbl.find_opt tbl v with Some s -> Hashtbl.length s | None -> 0
+
+let record tbl v sender =
+  let s =
+    match Hashtbl.find_opt tbl v with
+    | Some s -> s
+    | None ->
+      let s = Hashtbl.create 8 in
+      Hashtbl.add tbl v s;
+      s
+  in
+  Hashtbl.replace s sender ()
+
+let run ?ledger ~committee ~sender ~value ~byzantine () =
+  let committee = List.sort_uniq compare committee in
+  let n = List.length committee in
+  if n = 0 then invalid_arg "Reliable_bcast.run: empty committee";
+  if not (List.mem sender committee) then
+    invalid_arg "Reliable_bcast.run: sender not in committee";
+  let t = max_faulty n in
+  let net = Net.create ?ledger () in
+  let split_at = List.nth committee (n / 2) in
+  let states = Hashtbl.create n in
+  let honest = List.filter (fun id -> byzantine id = None) committee in
+  let handler id strategy =
+    let st =
+      {
+        echoed = false;
+        readied = false;
+        delivered_value = None;
+        echoes = Hashtbl.create 4;
+        readys = Hashtbl.create 4;
+      }
+    in
+    Hashtbl.replace states id st;
+    let rng =
+      match strategy with
+      | Some s -> Byz_behavior.rng_of s
+      | None -> Prng.Rng.of_int 0
+    in
+    let send_all tag =
+      match strategy with
+      | None -> fun v -> Net.multicast net ~src:id ~dsts:committee ~label:"rb" (tag v)
+      | Some s ->
+        fun v ->
+          List.iter
+            (fun dst ->
+              match Byz_behavior.value_for s rng ~dst ~split_at ~honest_value:v with
+              | Some v' -> Net.send net ~src:id ~dst ~label:"rb" (tag v')
+              | None -> ())
+            committee
+    in
+    fun ~round ~inbox ->
+      (* Absorb: Inits drive echoing, Echos/Readys feed the tallies. *)
+      let pending_init = ref None in
+      List.iter
+        (fun (src, m) ->
+          match m with
+          | Init v -> if src = sender then pending_init := Some v
+          | Echo v -> record st.echoes v src
+          | Ready v -> record st.readys v src)
+        inbox;
+      (* Round 1: the sender (honest or not) issues Init. *)
+      if round = 1 && id = sender then send_all (fun v -> Init v) value;
+      (* Echo exactly once, for the Init we saw. *)
+      (match !pending_init with
+      | Some v when not st.echoed ->
+        st.echoed <- true;
+        send_all (fun v -> Echo v) v
+      | _ -> ());
+      (* Ready when the echo quorum or the ready amplification fires. *)
+      let try_ready v =
+        if
+          (not st.readied)
+          && (2 * count st.echoes v > n + t || count st.readys v > t)
+        then begin
+          st.readied <- true;
+          send_all (fun v -> Ready v) v
+        end
+      in
+      Hashtbl.iter (fun v _ -> try_ready v) st.echoes;
+      Hashtbl.iter (fun v _ -> try_ready v) st.readys;
+      (* Deliver at 2t+1 Readys. *)
+      if st.delivered_value = None then
+        Hashtbl.iter
+          (fun v _ ->
+            if count st.readys v >= (2 * t) + 1 && st.delivered_value = None then
+              st.delivered_value <- Some v)
+          st.readys
+  in
+  List.iter (fun id -> Net.add_node net ~id (handler id (byzantine id))) committee;
+  let total_rounds = 6 in
+  Net.run_rounds net total_rounds;
+  let delivered =
+    List.map (fun id -> (id, (Hashtbl.find states id).delivered_value)) honest
+  in
+  let values = List.filter_map snd delivered |> List.sort_uniq compare in
+  {
+    delivered;
+    rounds = total_rounds;
+    messages = Net.messages_sent net;
+    consistent = List.length values <= 1;
+  }

@@ -1,0 +1,42 @@
+(** Reliable (Byzantine-consistent) broadcast — synchronous Bracha-style
+    echo protocol, tolerating [t < n/3] corrupt committee members.
+
+    A designated sender distributes a value; Echo and Ready rounds make
+    equivocation harmless:
+
+    - {e validity}: an honest sender's value is delivered by every honest
+      member;
+    - {e consistency}: even under a Byzantine (equivocating) sender, no
+      two honest members deliver different values — each either delivers
+      the same value or nothing.
+
+    Rule set (synchronous, n members, t = max_faulty n): echo the Init you
+    received; send Ready(v) after more than (n+t)/2 Echos of v, or after
+    t+1 Readys of v (amplification); deliver v after 2t+1 Readys of v.
+
+    NOW's clusters are exactly such committees (>2/3 honest whp), so this
+    is the natural intra-cluster dissemination primitive complementing the
+    inter-cluster majority rule of {!Cluster.Valchan}. *)
+
+type outcome = {
+  delivered : (int * int option) list;
+      (** per honest member: the delivered value, if any *)
+  rounds : int;
+  messages : int;
+  consistent : bool;  (** no two honest members delivered different values *)
+}
+
+val max_faulty : int -> int
+(** Largest [t] with [3t < n]. *)
+
+val run :
+  ?ledger:Metrics.Ledger.t ->
+  committee:int list ->
+  sender:int ->
+  value:int ->
+  byzantine:(int -> Byz_behavior.t option) ->
+  unit ->
+  outcome
+(** [run ~committee ~sender ~value ~byzantine ()] executes the protocol on
+    a private network.  If [sender] is Byzantine its behaviour (e.g.
+    [Equivocate]) drives the Init round instead of [value]. *)

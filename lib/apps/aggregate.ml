@@ -1,0 +1,89 @@
+module Engine = Now_core.Engine
+module Ct = Now_core.Cluster_table
+module Node = Now_core.Node
+module Cost = Now_core.Cost_model
+module Graph = Dsgraph.Graph
+
+type report = {
+  result : float;
+  honest_sum : float;
+  full_sum : float;
+  messages : int;
+  rounds : int;
+  error_bound : float;
+}
+
+let sum engine ~value ~byz_claim =
+  let tbl = Engine.table engine in
+  let roster = Engine.roster engine in
+  let g = Over.graph (Engine.overlay engine) in
+  let cids = Ct.cluster_ids tbl in
+  let root = match cids with [] -> invalid_arg "Aggregate.sum: no clusters" | c :: _ -> c in
+  let is_byz node = Node.is_byzantine (Node.Roster.honesty roster node) in
+  let claimed node = if is_byz node then byz_claim node else value node in
+  (* Per-cluster local sums: one intra-cluster all-to-all each. *)
+  let messages = ref 0 in
+  let local = Hashtbl.create 64 in
+  let honest_sum = ref 0.0 and full_sum = ref 0.0 in
+  let lie_budget = ref 0.0 in
+  List.iter
+    (fun cid ->
+      let members = Ct.members tbl cid in
+      let s = List.length members in
+      messages := !messages + (s * (s - 1));
+      let total =
+        List.fold_left
+          (fun acc node ->
+            let v = value node in
+            full_sum := !full_sum +. v;
+            if is_byz node then lie_budget := !lie_budget +. abs_float (claimed node -. v)
+            else honest_sum := !honest_sum +. v;
+            acc +. claimed node)
+          0.0 members
+      in
+      Hashtbl.replace local cid total)
+    cids;
+  (* BFS tree rooted at [root]; convergecast depth-by-depth. *)
+  let parent = Hashtbl.create 64 in
+  let order = ref [] in
+  let queue = Queue.create () in
+  Hashtbl.replace parent root root;
+  Queue.add root queue;
+  let depth = Hashtbl.create 64 in
+  Hashtbl.replace depth root 0;
+  let max_depth = ref 0 in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    order := c :: !order;
+    let d = Hashtbl.find depth c in
+    if d > !max_depth then max_depth := d;
+    Graph.iter_neighbors g c (fun nb ->
+        if not (Hashtbl.mem parent nb) then begin
+          Hashtbl.replace parent nb c;
+          Hashtbl.replace depth nb (d + 1);
+          Queue.add nb queue
+        end)
+  done;
+  (* Leaves first: accumulate into parents over validated transfers. *)
+  let subtotal = Hashtbl.copy local in
+  List.iter
+    (fun c ->
+      if c <> root then begin
+        let p = Hashtbl.find parent c in
+        messages :=
+          !messages + Cost.valchan_messages ~src:(Ct.size tbl c) ~dst:(Ct.size tbl p);
+        Hashtbl.replace subtotal p (Hashtbl.find subtotal p +. Hashtbl.find subtotal c)
+      end)
+    !order;
+  let result = Hashtbl.find subtotal root in
+  let rounds = Cost.randnum_rounds + ((!max_depth + 1) * Cost.valchan_rounds) in
+  Metrics.Ledger.charge (Engine.ledger engine) ~label:"app.aggregate"
+    ~messages:!messages ~rounds;
+  {
+    result;
+    honest_sum = !honest_sum;
+    full_sum = !full_sum;
+    messages = !messages;
+    rounds;
+    error_bound = !lie_budget;
+  }

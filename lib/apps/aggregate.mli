@@ -1,0 +1,32 @@
+(** Byzantine-bounded aggregation (sum) over the clustered network
+    (Section 6).
+
+    Convergecast along a BFS tree of the overlay: every cluster sums the
+    values claimed by its members (one intra-cluster all-to-all), adds the
+    validated partial sums of its tree children, and forwards the total to
+    its parent.  Messages: one intra-cluster round per cluster plus one
+    validated transfer per tree edge — Õ(n) in total.
+
+    A Byzantine node can lie about {e its own} input but — thanks to the
+    honest-majority validation — cannot tamper with partial sums in
+    transit, so the result's deviation from the true total is exactly the
+    sum of the individual lies: [sum over byz of |claim - true value|].
+    The report carries both the honest ground truth and that bound. *)
+
+type report = {
+  result : float;  (** aggregate computed by the protocol *)
+  honest_sum : float;  (** sum over honest nodes' true inputs *)
+  full_sum : float;  (** sum over all nodes' true inputs *)
+  messages : int;
+  rounds : int;
+  error_bound : float;  (** sum over Byzantine nodes of |claim - true| *)
+}
+
+val sum :
+  Now_core.Engine.t ->
+  value:(Now_core.Node.id -> float) ->
+  byz_claim:(Now_core.Node.id -> float) ->
+  report
+(** [sum engine ~value ~byz_claim] aggregates [value] over all nodes;
+    Byzantine nodes report [byz_claim] instead.  Charges the ledger under
+    ["app.aggregate"]. *)

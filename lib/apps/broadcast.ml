@@ -1,0 +1,49 @@
+module Engine = Now_core.Engine
+module Ct = Now_core.Cluster_table
+module Cost = Now_core.Cost_model
+module Graph = Dsgraph.Graph
+
+type report = {
+  messages : int;
+  rounds : int;
+  clusters_reached : int;
+  all_reached : bool;
+  byzantine_proof : bool;
+}
+
+let run engine ~origin =
+  let tbl = Engine.table engine in
+  let g = Over.graph (Engine.overlay engine) in
+  let root = Ct.cluster_of tbl origin in
+  let size cid = Ct.size tbl cid in
+  (* BFS over the overlay; each tree edge carries one validated transfer. *)
+  let dist = Hashtbl.create 64 in
+  Hashtbl.replace dist root 0;
+  let queue = Queue.create () in
+  Queue.add root queue;
+  let messages = ref (size root - 1) (* origin tells its own cluster *) in
+  let depth = ref 0 in
+  let safe = ref (3 * Ct.byz_count tbl root < size root) in
+  while not (Queue.is_empty queue) do
+    let c = Queue.pop queue in
+    let d = Hashtbl.find dist c in
+    if d > !depth then depth := d;
+    Graph.iter_neighbors g c (fun nb ->
+        if not (Hashtbl.mem dist nb) then begin
+          Hashtbl.replace dist nb (d + 1);
+          Queue.add nb queue;
+          messages := !messages + Cost.valchan_messages ~src:(size c) ~dst:(size nb);
+          if 3 * Ct.byz_count tbl nb >= size nb then safe := false
+        end)
+  done;
+  let rounds = 1 + (!depth * Cost.valchan_rounds) in
+  Metrics.Ledger.charge (Engine.ledger engine) ~label:"app.broadcast"
+    ~messages:!messages ~rounds;
+  let reached = Hashtbl.length dist in
+  {
+    messages = !messages;
+    rounds;
+    clusters_reached = reached;
+    all_reached = reached = Ct.n_clusters tbl;
+    byzantine_proof = !safe;
+  }

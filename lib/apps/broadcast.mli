@@ -1,0 +1,24 @@
+(** Cluster-routed broadcast (Section 6).
+
+    A node's message travels along a BFS spanning tree of the cluster
+    overlay; each tree edge is one validated inter-cluster transfer
+    ([|Ci| * |Cj|] messages), so the total is about
+    [#C * (k log N)^2 = O(n log N)] — the paper's Õ(n), versus O(n^2)
+    for flat flooding.
+
+    Delivery is Byzantine-proof as long as every traversed cluster has an
+    honest majority: a forged payload can never gather more than half of a
+    cluster's votes.  The report flags the unsafe case. *)
+
+type report = {
+  messages : int;
+  rounds : int;
+  clusters_reached : int;
+  all_reached : bool;  (** every cluster received the payload *)
+  byzantine_proof : bool;
+      (** no traversed cluster had lost its honest majority *)
+}
+
+val run : Now_core.Engine.t -> origin:Now_core.Node.id -> report
+(** Broadcast from [origin]'s cluster over the current overlay.  Charges
+    the engine ledger under ["app.broadcast"]. *)

@@ -1,0 +1,79 @@
+module Engine = Now_core.Engine
+module Ct = Now_core.Cluster_table
+module Node = Now_core.Node
+module Cost = Now_core.Cost_model
+module PK = Agreement.Phase_king
+module B = Agreement.Byz_behavior
+
+type report = {
+  decision : int option;
+  per_cluster : (int * int) list;
+  virtual_messages : int;
+  messages : int;
+  rounds : int;
+  corrupt_clusters : int;
+}
+
+let run engine ~input ?(byz_input = fun _ -> 1) () =
+  let tbl = Engine.table engine in
+  let roster = Engine.roster engine in
+  let cids = Ct.cluster_ids tbl in
+  if cids = [] then invalid_arg "Cluster_agreement.run: no clusters";
+  let is_byz node = Node.is_byzantine (Node.Roster.honesty roster node) in
+  (* Virtual input of a cluster: the majority of its members' claims (one
+     intra-cluster all-to-all to collect them). *)
+  let intra_messages = ref 0 in
+  let virtual_input cid =
+    let members = Ct.members tbl cid in
+    let s = List.length members in
+    intra_messages := !intra_messages + (s * (s - 1));
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun node ->
+        let v = if is_byz node then byz_input node else input node in
+        Hashtbl.replace counts v
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts v)))
+      members;
+    Hashtbl.fold
+      (fun v c (bv, bc) -> if c > bc || (c = bc && v < bv) then (v, c) else (bv, bc))
+      counts (0, 0)
+    |> fst
+  in
+  (* A cluster that lost its honest majority is a corrupt virtual process:
+     the inter-cluster majority rule no longer pins down what it says. *)
+  let corrupt cid =
+    if 3 * Ct.byz_count tbl cid >= Ct.size tbl cid then
+      Some (B.Equivocate (0, 1))
+    else None
+  in
+  let corrupt_clusters = List.length (List.filter (fun c -> corrupt c <> None) cids) in
+  let outcome =
+    PK.run ~committee:cids ~input:virtual_input ~byzantine:corrupt ()
+  in
+  (* Every virtual message between clusters ci -> cj is |Ci| * |Cj| real
+     messages (the validated channel); approximate with the mean cluster
+     size, which is exact for equal sizes. *)
+  let mean_size =
+    float_of_int (Ct.n_nodes tbl) /. float_of_int (List.length cids)
+  in
+  let scale = int_of_float (mean_size *. mean_size) in
+  let messages = !intra_messages + (outcome.PK.messages * scale) in
+  let rounds =
+    Cost.randnum_rounds + (outcome.PK.rounds * Cost.valchan_rounds)
+  in
+  Metrics.Ledger.charge (Engine.ledger engine) ~label:"app.cluster_agreement"
+    ~messages ~rounds;
+  let decision =
+    match outcome.PK.decisions with
+    | [] -> None
+    | (_, v) :: rest ->
+      if List.for_all (fun (_, v') -> v' = v) rest then Some v else None
+  in
+  {
+    decision;
+    per_cluster = outcome.PK.decisions;
+    virtual_messages = outcome.PK.messages;
+    messages;
+    rounds;
+    corrupt_clusters;
+  }

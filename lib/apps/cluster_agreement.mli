@@ -1,0 +1,32 @@
+(** Byzantine agreement on top of the clustering (Section 6 / Section 1).
+
+    The paper's opening argument: instead of running agreement among all
+    [n] processes (King–Saia: ~O(n sqrt n) messages), reduce the system to
+    [#C = n / (k log N)] {e virtual} processes — the clusters — each
+    reliable because >2/3 honest, and run agreement among them.
+
+    Implementation: each cluster computes the majority of its members'
+    inputs (Byzantine members may claim anything — they are at most a
+    [tau] fraction), then the clusters execute Phase-King as virtual
+    processes, every virtual message crossing a validated inter-cluster
+    channel ([|Ci| * |Cj|] real messages).  A cluster that has lost its
+    honest majority (Theorem 3 says: none, whp) participates as a corrupt
+    virtual process — the virtual protocol tolerates up to [#C/4] of
+    those. *)
+
+type report = {
+  decision : int option;  (** [None] only if virtual agreement failed *)
+  per_cluster : (int * int) list;  (** (cluster id, decided value) *)
+  virtual_messages : int;  (** messages of the virtual protocol *)
+  messages : int;  (** real messages incl. validated-channel expansion *)
+  rounds : int;
+  corrupt_clusters : int;  (** clusters without an honest majority *)
+}
+
+val run :
+  Now_core.Engine.t ->
+  input:(Now_core.Node.id -> int) ->
+  ?byz_input:(Now_core.Node.id -> int) ->
+  unit ->
+  report
+(** Charges the engine ledger under ["app.cluster_agreement"]. *)

@@ -1,0 +1,64 @@
+module Engine = Now_core.Engine
+module Ct = Now_core.Cluster_table
+module Node = Now_core.Node
+module Cost = Now_core.Cost_model
+module Graph = Dsgraph.Graph
+
+type report = {
+  decision : bool;
+  ones : int;
+  total : int;
+  messages : int;
+  rounds : int;
+}
+
+let run engine ~vote ?(byz_vote = fun _ -> false) () =
+  let tbl = Engine.table engine in
+  let roster = Engine.roster engine in
+  let g = Over.graph (Engine.overlay engine) in
+  let cids = Ct.cluster_ids tbl in
+  let root = match cids with [] -> invalid_arg "Vote.run: no clusters" | c :: _ -> c in
+  let is_byz node = Node.is_byzantine (Node.Roster.honesty roster node) in
+  let messages = ref 0 in
+  let ones = ref 0 and total = ref 0 in
+  List.iter
+    (fun cid ->
+      let members = Ct.members tbl cid in
+      let s = List.length members in
+      messages := !messages + (s * (s - 1));
+      List.iter
+        (fun node ->
+          incr total;
+          let b = if is_byz node then byz_vote node else vote node in
+          if b then incr ones)
+        members)
+    cids;
+  (* Tallies travel up a BFS tree and the decision comes back down: two
+     validated transfers per tree edge. *)
+  let tree_edges = max 0 (List.length cids - 1) in
+  let depth =
+    if tree_edges = 0 then 0
+    else begin
+      let dist = Dsgraph.Traversal.bfs_distances g root in
+      Hashtbl.fold (fun _ d acc -> max d acc) dist 0
+    end
+  in
+  List.iter
+    (fun cid ->
+      if cid <> root then begin
+        (* Up and down the tree: approximate each edge by the transfer to
+           and from this cluster's parent-side neighbourhood average. *)
+        let s = Ct.size tbl cid in
+        messages := !messages + (2 * Cost.valchan_messages ~src:s ~dst:s)
+      end)
+    cids;
+  let rounds = Cost.randnum_rounds + (2 * (depth + 1) * Cost.valchan_rounds) in
+  Metrics.Ledger.charge (Engine.ledger engine) ~label:"app.vote" ~messages:!messages
+    ~rounds;
+  {
+    decision = 2 * !ones > !total;
+    ones = !ones;
+    total = !total;
+    messages = !messages;
+    rounds;
+  }

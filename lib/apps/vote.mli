@@ -1,0 +1,32 @@
+(** Global majority vote / one-shot agreement over the clustered network
+    (Section 6's "agreement" application).
+
+    Every node holds a bit.  Each cluster tallies its members' votes in
+    one intra-cluster exchange, the per-cluster [(ones, total)] tallies
+    are convergecast to a root cluster over validated channels (Õ(n)
+    messages, versus Õ(n sqrt n) for whole-network Byzantine agreement),
+    and the outcome is broadcast back down the tree.
+
+    Agreement and termination hold whenever every cluster keeps its honest
+    majority (the validated channels then behave like reliable links
+    between virtual correct processes).  Validity is majoritarian:
+    Byzantine nodes vote like any node, but they are at most a [tau]
+    fraction, so they can only tip a majority that was already within
+    [tau] of the fence. *)
+
+type report = {
+  decision : bool;
+  ones : int;  (** total votes for [true] as tallied *)
+  total : int;
+  messages : int;
+  rounds : int;
+}
+
+val run :
+  Now_core.Engine.t ->
+  vote:(Now_core.Node.id -> bool) ->
+  ?byz_vote:(Now_core.Node.id -> bool) ->
+  unit ->
+  report
+(** [byz_vote] defaults to voting the opposite of the honest majority's
+    eventual choice being irrelevant — i.e. constantly [false]. *)

@@ -1,0 +1,84 @@
+(** Message-level system configuration: the cluster partition and overlay a
+    protocol session runs against.
+
+    The message-level engine executes NOW's primitives (validated
+    inter-cluster channels, randNum, the biased CTRW, exchange) with real
+    per-node messages on {!Simkernel.Net}, against this explicit
+    configuration.  The state-level engine in [Now_core] is the fast
+    counterpart; experiment E5 cross-validates their cost accounting. *)
+
+type t
+
+val make :
+  rng:Prng.Rng.t ->
+  ?ledger:Metrics.Ledger.t ->
+  byzantine:(int -> Agreement.Byz_behavior.t option) ->
+  clusters:(int * int list) list ->
+  overlay:Dsgraph.Graph.t ->
+  unit ->
+  t
+(** [clusters] maps cluster ids to member node ids (ids must be globally
+    distinct); [overlay] has one vertex per cluster id.  Raises
+    [Invalid_argument] on duplicate members or vertex/cluster mismatch. *)
+
+val build_uniform :
+  rng:Prng.Rng.t ->
+  ?ledger:Metrics.Ledger.t ->
+  n_clusters:int ->
+  cluster_size:int ->
+  byz_per_cluster:int ->
+  overlay_degree:int ->
+  unit ->
+  t
+(** Convenience builder for tests and benches: [n_clusters] clusters of
+    [cluster_size] nodes, the first [byz_per_cluster] members of each being
+    Byzantine with behaviour [Random_noise], linked by a near-regular
+    random overlay of degree [overlay_degree]. *)
+
+val rng : t -> Prng.Rng.t
+val ledger : t -> Metrics.Ledger.t
+val overlay : t -> Dsgraph.Graph.t
+val byzantine : t -> int -> Agreement.Byz_behavior.t option
+val is_byzantine : t -> int -> bool
+
+val cluster_ids : t -> int list
+(** Sorted. *)
+
+val members : t -> int -> int list
+(** Sorted member ids of a cluster; raises [Not_found] for unknown ids. *)
+
+val size : t -> int -> int
+val cluster_of : t -> int -> int
+(** Cluster currently hosting a node. *)
+
+val n_nodes : t -> int
+val max_cluster_size : t -> int
+
+val honest_majority : t -> int -> bool
+(** More than 2/3 of the cluster's members are honest. *)
+
+val move_node : t -> node:int -> to_cluster:int -> unit
+(** Re-home a node (used by exchange).  O(size) for the ordered lists. *)
+
+val swap_nodes : t -> int -> int -> unit
+(** Exchange the clusters of two nodes. *)
+
+val add_cluster : t -> cid:int -> members:int list -> unit
+(** Create a new cluster from nodes currently homed elsewhere (they are
+    moved in) — the membership side of a Split.  The overlay vertex is
+    added with no edges; callers wire it ({!Walk}-selected neighbours).
+    Raises [Invalid_argument] if the id is in use or a member is unknown. *)
+
+val remove_cluster : t -> cid:int -> unit
+(** Remove an {e empty} cluster and its overlay vertex — the final step of
+    a Merge.  Raises [Invalid_argument] if members remain. *)
+
+val register_node :
+  t -> node:int -> ?byzantine:Agreement.Byz_behavior.t -> cluster:int -> unit -> unit
+(** A fresh node enters the system into [cluster]; the (static) adversary
+    decides its behaviour at this moment and never again.  Raises
+    [Invalid_argument] if the id is already present. *)
+
+val remove_node : t -> node:int -> unit
+(** The node leaves the network (its honesty record is dropped with it).
+    Raises [Not_found] if absent. *)

@@ -1,0 +1,100 @@
+module Graph = Dsgraph.Graph
+module Net = Simkernel.Net
+module B = Agreement.Byz_behavior
+
+type report = {
+  complete : bool;
+  rounds : int;
+  messages : int;
+  honest_diameter_bound : int;
+}
+
+(* Check the model precondition: honest vertices connected through edges
+   adjacent to at least one honest endpoint. *)
+let honest_connected g ~honest =
+  let honest_vertices = List.filter honest (Graph.vertices g) in
+  match honest_vertices with
+  | [] -> true
+  | start :: _ ->
+    let seen = Hashtbl.create 64 in
+    let queue = Queue.create () in
+    Hashtbl.replace seen start ();
+    Queue.add start queue;
+    while not (Queue.is_empty queue) do
+      let v = Queue.pop queue in
+      Graph.iter_neighbors g v (fun u ->
+          if (honest v || honest u) && not (Hashtbl.mem seen u) then begin
+            Hashtbl.replace seen u ();
+            Queue.add u queue
+          end)
+    done;
+    List.for_all (Hashtbl.mem seen) honest_vertices
+
+let run bootstrap ~byzantine ?(max_rounds = 10_000) ?ledger () =
+  let vertices = Graph.vertices bootstrap in
+  let n = List.length vertices in
+  let honest v = byzantine v = None in
+  if not (honest_connected bootstrap ~honest) then
+    failwith "Discovery.run: honest nodes are not a connected component";
+  let net = Net.create ?ledger () in
+  (* Per-node knowledge set and per-node not-yet-flooded frontier. *)
+  let known : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create n in
+  let frontier : (int, int list) Hashtbl.t = Hashtbl.create n in
+  List.iter
+    (fun v ->
+      let s = Hashtbl.create 16 in
+      Hashtbl.replace s v ();
+      Graph.iter_neighbors bootstrap v (fun u -> Hashtbl.replace s u ());
+      Hashtbl.replace known v s;
+      Hashtbl.replace frontier v (Hashtbl.fold (fun id () acc -> id :: acc) s []))
+    vertices;
+  List.iter
+    (fun v ->
+      let neighbors = Graph.neighbors bootstrap v in
+      let handler ~round ~inbox =
+        ignore round;
+        (* Absorb: every received id we did not know joins our frontier. *)
+        let mine = Hashtbl.find known v in
+        let fresh = ref (Hashtbl.find frontier v) in
+        List.iter
+          (fun (_, id) ->
+            if not (Hashtbl.mem mine id) then begin
+              Hashtbl.replace mine id ();
+              fresh := id :: !fresh
+            end)
+          inbox;
+        Hashtbl.replace frontier v [];
+        (* Flood the frontier (honest behaviour); Byzantine nodes may stay
+           silent instead — the only deviation that matters, since ids are
+           unforgeable and duplicates are ignored. *)
+        match byzantine v with
+        | Some B.Silent -> ()
+        | Some _ | None ->
+          List.iter
+            (fun id ->
+              List.iter
+                (fun nb -> Net.send net ~src:v ~dst:nb ~label:"discovery" id)
+                neighbors)
+            (List.sort_uniq compare !fresh)
+      in
+      Net.add_node net ~id:v handler)
+    vertices;
+  let complete () =
+    List.for_all
+      (fun v -> (not (honest v)) || Hashtbl.length (Hashtbl.find known v) = n)
+      vertices
+  in
+  let all_quiet () =
+    List.for_all (fun v -> Hashtbl.find frontier v = []) vertices
+  in
+  (* Run until knowledge is complete and the flood has drained. *)
+  let rounds =
+    Net.run_until net ~max_rounds (fun () ->
+        Net.round net > 0 && complete () && all_quiet ())
+  in
+  {
+    complete = complete ();
+    rounds;
+    messages = Net.messages_sent net;
+    honest_diameter_bound = Dsgraph.Traversal.honest_diameter bootstrap ~honest;
+  }

@@ -1,0 +1,37 @@
+(** Message-level network discovery (initialisation phase, Section 3.2).
+
+    Starting from a connected bootstrap graph in which every node knows
+    only its neighbours, each node floods the identifiers it knows: every
+    round it sends its newly learned ids over every incident edge.  The
+    paper's guarantee: the algorithm terminates within the diameter of the
+    graph restricted to edges adjacent to at least one honest node, after
+    which every honest node knows the identifiers of all nodes, at a total
+    cost of O(n * e) messages.
+
+    Byzantine nodes cannot forge identifiers (the model's unforgeability
+    assumption — the kernel stamps senders, and an id is accepted only
+    when first-hand evidence of it has flooded from the id's owner
+    region); here they can only stay silent or flood junk re-sends, which
+    costs messages but cannot corrupt the result.  The honest nodes being
+    a connected component (a model assumption), silence cannot partition
+    discovery. *)
+
+type report = {
+  complete : bool;  (** every honest node learned every id *)
+  rounds : int;
+  messages : int;
+  honest_diameter_bound : int;
+      (** diameter of the graph restricted to honest-adjacent edges *)
+}
+
+val run :
+  Dsgraph.Graph.t ->
+  byzantine:(int -> Agreement.Byz_behavior.t option) ->
+  ?max_rounds:int ->
+  ?ledger:Metrics.Ledger.t ->
+  unit ->
+  report
+(** [run bootstrap ~byzantine ()] executes the flooding on the given
+    bootstrap graph (vertices are node ids).  Raises [Failure] if the
+    honest vertices do not form a connected component (precondition of the
+    model). *)

@@ -1,0 +1,59 @@
+module Graph = Dsgraph.Graph
+module Ledger = Metrics.Ledger
+
+type error = Walk.error
+
+(* Every member of [cluster] tells every member of each neighbouring
+   cluster the new composition. *)
+let charge_view_update cfg cluster =
+  let overlay = Config.overlay cfg in
+  let size = Config.size cfg cluster in
+  let messages = ref 0 in
+  Graph.iter_neighbors overlay cluster (fun nb ->
+      messages := !messages + (size * Config.size cfg nb));
+  Ledger.charge (Config.ledger cfg) ~label:"exchange.view_update" ~messages:!messages
+    ~rounds:1
+
+let exchange_node ?duration cfg ~node =
+  let home = Config.cluster_of cfg node in
+  match Walk.rand_cl ?duration cfg ~start:home with
+  | Error e -> Error e
+  | Ok { selected; _ } ->
+    if selected = home then Ok home
+    else begin
+      (* Inform C' that it receives x, over the validated channel. *)
+      let res =
+        Valchan.transmit cfg ~src_cluster:home ~dst_cluster:selected
+          ~label:"exchange.announce" ~payload:node ()
+      in
+      (match res.Valchan.unanimous with
+      | Some _ -> ()
+      | None -> ());
+      (* C' picks the replacement uniformly and the two nodes swap; the
+         transfers themselves cost one message to each new team-mate. *)
+      let replacement = Walk.pick_member cfg ~cluster:selected in
+      let transfer_messages = Config.size cfg home + Config.size cfg selected in
+      Ledger.charge (Config.ledger cfg) ~label:"exchange.transfer"
+        ~messages:transfer_messages ~rounds:1;
+      Config.swap_nodes cfg node replacement;
+      Ok selected
+    end
+
+let exchange_all ?duration cfg ~cluster =
+  let snapshot = Config.members cfg cluster in
+  let rec go nodes touched =
+    match nodes with
+    | [] -> Ok touched
+    | node :: rest ->
+      (match exchange_node ?duration cfg ~node with
+      | Error e -> Error e
+      | Ok dest ->
+        let touched = if dest = cluster then touched else dest :: touched in
+        go rest touched)
+  in
+  match go snapshot [] with
+  | Error e -> Error e
+  | Ok touched ->
+    let touched = List.sort_uniq compare touched in
+    List.iter (charge_view_update cfg) (cluster :: touched);
+    Ok touched

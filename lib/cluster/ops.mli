@@ -1,0 +1,50 @@
+(** Message-level Join and Leave (Algorithms 1 and 2), composed from the
+    message-level primitives: [randCl] placement, validated announcements,
+    the [exchange] shuffle and its one-level cascade.
+
+    Split and Merge restructure the overlay and are exercised by the
+    state-level engine ([Now_core.Engine]); this module keeps the cluster
+    set fixed (sizes drift by +-1 per operation), which is exactly what is
+    needed to cross-check the per-operation communication costs that E5
+    and F2 report. *)
+
+type error = Walk.error
+
+val split :
+  Config.t -> cluster:int -> fresh_cid:int -> overlay_edges:int -> (int, error) Stdlib.result
+(** Message-level Split: the members compute a random partition with
+    successive [randNum] draws, half of them form the fresh cluster
+    [fresh_cid], the old cluster keeps its overlay neighbours and the new
+    one is wired to [overlay_edges] [randCl]-chosen clusters (Fig. 2's
+    "neighbours chosen using randNum and randCl").  Returns [fresh_cid]. *)
+
+val merge :
+  Config.t -> cluster:int -> (int, error) Stdlib.result
+(** Message-level Merge (Section 3.3 semantics): a [randCl]-chosen victim
+    cluster is absorbed into the undersized [cluster] and its overlay
+    vertex removed (a random removal, as OVER assumes); the merged cluster
+    then exchanges all its members.  Returns the absorbed victim's id.
+    Fails with [`Too_many_restarts] when [cluster] is the only cluster. *)
+
+val join :
+  Config.t ->
+  ?byzantine:Agreement.Byz_behavior.t ->
+  ?duration:float ->
+  node:int ->
+  contact:int ->
+  unit ->
+  (int, error) Stdlib.result
+(** [join cfg ~node ~contact ()] runs Algorithm 1 at message level: the
+    contact cluster selects a destination with [randCl], the destination
+    inserts [node] (announcing it to its neighbourhood and shipping the
+    joiner its views), then exchanges all of its members.  Returns the
+    hosting cluster.  [byzantine] is the adversary's (static) corruption
+    decision for the joiner. *)
+
+val leave :
+  Config.t -> ?duration:float -> node:int -> unit -> (int list, error) Stdlib.result
+(** [leave cfg ~node ()] runs Algorithm 2 at message level: the cluster
+    detects the departure, notifies its neighbours, exchanges all its
+    members, and every cluster that swapped a node with it exchanges all
+    of {e its} members (the one-level cascade).  Returns the cascaded
+    clusters. *)

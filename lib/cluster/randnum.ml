@@ -1,0 +1,63 @@
+module Net = Simkernel.Net
+module Rng = Prng.Rng
+
+type outcome = { value : int; secure : bool }
+
+(* SplitMix-style avalanche so that any single uniform contribution makes
+   the mix uniform. *)
+let mix64 z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let mix contributions ~range =
+  if range <= 0 then invalid_arg "Randnum.mix: range must be positive";
+  let acc =
+    List.fold_left
+      (fun acc c -> mix64 (Int64.add (Int64.mul acc 0x9E3779B97F4A7C15L) (Int64.of_int c)))
+      0x106689D45497FDB5L contributions
+  in
+  Int64.to_int (Int64.rem (Int64.logand acc Int64.max_int) (Int64.of_int range))
+
+let run cfg ~cluster ~range =
+  if range <= 0 then invalid_arg "Randnum.run: range must be positive";
+  let members = Config.members cfg cluster in
+  let n = List.length members in
+  if n = 0 then invalid_arg "Randnum.run: empty cluster";
+  let byz_members = List.filter (Config.is_byzantine cfg) members in
+  let secure = 3 * List.length byz_members < 2 * n in
+  (* Message-level session: round 1 = escrow broadcast, round 2 =
+     reconstruction broadcast.  The actual share contents do not influence
+     the outcome model beyond the contributions collected below, but the
+     messages are real and counted. *)
+  let net = Net.create ~ledger:(Config.ledger cfg) () in
+  let contributions : (int * int) list ref = ref [] in
+  List.iter
+    (fun id ->
+      let contribution =
+        match Config.byzantine cfg id with
+        | None -> Some (Rng.int (Config.rng cfg) 1_073_741_823)
+        | Some strategy ->
+          (* Committed before any honest contribution is visible; the VSS
+             model makes it binding and consistent across members. *)
+          let rng = Agreement.Byz_behavior.rng_of strategy in
+          Agreement.Byz_behavior.value_for strategy rng ~dst:0 ~split_at:0
+            ~honest_value:0
+      in
+      (match contribution with
+      | Some c -> contributions := (id, c) :: !contributions
+      | None -> () (* silent member: excluded from the mix, consistently *));
+      let others = List.filter (fun m -> m <> id) members in
+      Net.add_node net ~id (fun ~round ~inbox ->
+          ignore inbox;
+          if (round = 1 || round = 2) && contribution <> None then
+            Net.multicast net ~src:id ~dsts:others ~label:"randnum" 0))
+    members;
+  Net.run_rounds net 2;
+  if not secure then { value = 0; secure }
+  else begin
+    let sorted =
+      List.sort (fun (a, _) (b, _) -> compare a b) !contributions |> List.map snd
+    in
+    { value = mix sorted ~range; secure }
+  end

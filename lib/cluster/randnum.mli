@@ -1,0 +1,34 @@
+(** randNum — in-cluster distributed random number generation.
+
+    The nodes of a cluster agree on a common integer chosen uniformly at
+    random from [0, range).  The paper defers the construction to the long
+    version and states it is secure while Byzantine members are fewer than
+    two thirds of the cluster, at a cost of O(log^2 N) messages per draw.
+
+    This implementation models a commit/VSS-then-reconstruct collective
+    coin (see DESIGN.md): in round 1 each member escrows a contribution
+    among all members (a Byzantine member commits {e before} seeing any
+    honest contribution, and verifiable secret sharing prevents it from
+    later withholding or changing it); in round 2 the contributions are
+    reconstructed and every honest member outputs the same mix of all
+    escrowed contributions.  Uniformity holds as soon as one contributor
+    is honest; agreement holds while the reconstruction quorum does, i.e.
+    Byzantine members < 2/3.
+
+    Cost charged: [2 |C| (|C|-1)] messages, 2 rounds — matching the
+    paper's O(log^2 N). *)
+
+type outcome = {
+  value : int;  (** the agreed value in [0, range) *)
+  secure : bool;
+      (** [false] when Byzantine members are >= 2/3 of the cluster: the
+          value is then adversary-controlled (0 here) rather than random *)
+}
+
+val run : Config.t -> cluster:int -> range:int -> outcome
+(** Raises [Not_found] on an unknown cluster and [Invalid_argument] on an
+    empty cluster or non-positive range. *)
+
+val mix : int list -> range:int -> int
+(** The deterministic combination of contributions used by [run]
+    (exposed for tests): 64-bit mixing fold, reduced to [0, range). *)

@@ -1,0 +1,83 @@
+module Net = Simkernel.Net
+
+let validate ~members ~inbox =
+  (* One vote per member: first message wins (authenticated channels make
+     later duplicates an artefact, not an attack vector). *)
+  let votes = Hashtbl.create 16 in
+  List.iter
+    (fun (sender, payload) ->
+      if List.mem sender members && not (Hashtbl.mem votes sender) then
+        Hashtbl.replace votes sender payload)
+    inbox;
+  let counts = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ payload ->
+      let c = match Hashtbl.find_opt counts payload with Some c -> c | None -> 0 in
+      Hashtbl.replace counts payload (c + 1))
+    votes;
+  let threshold = List.length members / 2 in
+  Hashtbl.fold
+    (fun payload c acc -> if c > threshold then Some payload else acc)
+    counts None
+
+type result = {
+  verdicts : (int * int option) list;
+  unanimous : int option;
+}
+
+let transmit cfg ~src_cluster ~dst_cluster ?(label = "valchan") ~payload () =
+  let src_members = Config.members cfg src_cluster in
+  let dst_members = Config.members cfg dst_cluster in
+  let net = Net.create ~ledger:(Config.ledger cfg) () in
+  let verdicts : (int, int option) Hashtbl.t = Hashtbl.create 16 in
+  let split_at =
+    match dst_members with
+    | [] -> 0
+    | _ -> List.nth dst_members (List.length dst_members / 2)
+  in
+  List.iter
+    (fun id ->
+      match Config.byzantine cfg id with
+      | None ->
+        Net.add_node net ~id (fun ~round ~inbox ->
+            ignore inbox;
+            if round = 1 then
+              Net.multicast net ~src:id ~dsts:dst_members ~label payload)
+      | Some strategy ->
+        let rng = Agreement.Byz_behavior.rng_of strategy in
+        Net.add_node net ~id (fun ~round ~inbox ->
+            ignore inbox;
+            if round = 1 then
+              List.iter
+                (fun dst ->
+                  match
+                    Agreement.Byz_behavior.value_for strategy rng ~dst ~split_at
+                      ~honest_value:payload
+                  with
+                  | Some v -> Net.send net ~src:id ~dst ~label v
+                  | None -> ())
+                dst_members))
+    src_members;
+  List.iter
+    (fun id ->
+      if not (Config.is_byzantine cfg id) then
+        Net.add_node net ~id (fun ~round ~inbox ->
+            if round = 2 then
+              Hashtbl.replace verdicts id (validate ~members:src_members ~inbox)))
+    dst_members;
+  Net.run_rounds net 2;
+  let honest_dst = List.filter (fun id -> not (Config.is_byzantine cfg id)) dst_members in
+  let verdicts =
+    List.map
+      (fun id ->
+        (id, match Hashtbl.find_opt verdicts id with Some v -> v | None -> None))
+      honest_dst
+  in
+  let unanimous =
+    match verdicts with
+    | [] -> None
+    | (_, first) :: rest ->
+      if first <> None && List.for_all (fun (_, v) -> v = first) rest then first
+      else None
+  in
+  { verdicts; unanimous }

@@ -1,0 +1,30 @@
+(** Validated inter-cluster channels (Section 3.2).
+
+    A node accepts a message claimed to come from cluster [C] if and only
+    if it receives the identical payload from more than half of [C]'s
+    members.  Combined with the invariant that every cluster is >2/3
+    honest, this rule makes inter-cluster communication Byzantine-proof:
+    the honest majority determines the accepted value and Byzantine
+    members can neither forge nor block it.
+
+    [transmit] runs the exchange as a real 2-round session on a private
+    {!Simkernel.Net} (sharing the configuration's ledger): each member of
+    the source cluster sends the payload to each member of the destination
+    cluster — Byzantine members send whatever their behaviour dictates —
+    and each destination node applies the majority rule. *)
+
+val validate : members:int list -> inbox:(int * int) list -> int option
+(** Pure majority rule: the payload sent by strictly more than half of
+    [members] (counting at most one message per member), if any. *)
+
+type result = {
+  verdicts : (int * int option) list;
+      (** per honest destination member: the accepted payload, if any *)
+  unanimous : int option;
+      (** [Some v] when every honest destination member accepted [v] *)
+}
+
+val transmit :
+  Config.t -> src_cluster:int -> dst_cluster:int -> ?label:string -> payload:int -> unit -> result
+(** Raises [Not_found] on unknown cluster ids.  [label] defaults to
+    ["valchan"]. *)

@@ -1,0 +1,69 @@
+module Graph = Dsgraph.Graph
+
+type error = [ `Validation_failed of int | `Too_many_restarts ]
+
+type stats = { selected : int; hops : int; restarts : int }
+
+(* Split one randNum draw into the fields a hop needs: a neighbour index
+   and a uniform coin for the exponential holding time. *)
+let coin_range = 1 lsl 20
+
+(* Duration ~ mixing time: the continuous-time walk fires at rate deg(v),
+   so covering log2(#C) units of mixing costs log2(#C) / mean-degree time
+   (mirrors Now_core.Cost_model.walk_duration; hops ~ 2 log2 #C). *)
+let default_duration cfg =
+  let g = Config.overlay cfg in
+  let n = max 2 (Graph.n_vertices g) in
+  let mean_degree = Float.max 1.0 (Graph.mean_degree g) in
+  2.0 *. (log (float_of_int n) /. log 2.0) /. mean_degree
+
+let rand_cl ?duration ?(max_restarts = 1000) cfg ~start =
+  let overlay = Config.overlay cfg in
+  let duration = match duration with Some d -> d | None -> default_duration cfg in
+  let max_size = float_of_int (Config.max_cluster_size cfg) in
+  let exception Invalid of int in
+  let rec hop current remaining hops restarts =
+    let d = Graph.degree overlay current in
+    let draw range = (Randnum.run cfg ~cluster:current ~range).value in
+    let finish () =
+      (* Endpoint acceptance coin: p = |C| / max |C'|. *)
+      let p = float_of_int (Config.size cfg current) /. max_size in
+      let coin = float_of_int (draw coin_range) /. float_of_int coin_range in
+      if coin < p then Ok { selected = current; hops; restarts }
+      else if restarts >= max_restarts then Error `Too_many_restarts
+      else hop current duration hops (restarts + 1)
+    in
+    if d = 0 then finish ()
+    else begin
+      let r = draw (d * coin_range) in
+      let neighbor_index = r mod d in
+      let u = float_of_int (r / d) /. float_of_int coin_range in
+      let hold = -.log (1.0 -. u +. (1.0 /. float_of_int coin_range)) /. float_of_int d in
+      if hold >= remaining then finish ()
+      else begin
+        let next = List.nth (List.sort compare (Graph.neighbors overlay current)) neighbor_index in
+        (* Forward the walk token over the validated channel. *)
+        let res =
+          Valchan.transmit cfg ~src_cluster:current ~dst_cluster:next ~label:"walk.token"
+            ~payload:hops ()
+        in
+        (match res.Valchan.unanimous with
+        | Some _ -> ()
+        | None -> raise (Invalid current));
+        hop next (remaining -. hold) (hops + 1) restarts
+      end
+    end
+  in
+  match hop start duration 0 0 with
+  | result -> result
+  | exception Invalid c -> Error (`Validation_failed c)
+
+let pick_member cfg ~cluster =
+  let members = Config.members cfg cluster in
+  let idx = (Randnum.run cfg ~cluster ~range:(List.length members)).value in
+  List.nth members idx
+
+let pick_node ?duration cfg ~start =
+  match rand_cl ?duration cfg ~start with
+  | Error e -> Error e
+  | Ok { selected; _ } -> Ok (pick_member cfg ~cluster:selected)

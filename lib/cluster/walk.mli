@@ -1,0 +1,49 @@
+(** Message-level biased CTRW — the [randCl] primitive (Section 3.1).
+
+    A biased continuous-time random walk on the cluster overlay selects a
+    cluster with probability proportional to its size (i.e. [|C|/n]),
+    which is exactly the distribution needed to pick a {e node} uniformly
+    at random: pick the cluster by [randCl], then a member by [randNum].
+
+    Per the paper's footnote: at each hop the current cluster's members
+    collaboratively draw a random number ({!Randnum}) that picks the next
+    neighbour and decreases the remaining walk duration; the walk token is
+    forwarded over the validated inter-cluster channel, so a node of the
+    next cluster pursues the walk only when more than half of the previous
+    cluster sent it identical messages.  When the duration runs out, the
+    endpoint cluster is accepted with probability [|C| / max |C'|]
+    (another [randNum] coin), otherwise the walk restarts from there.
+
+    Per-hop cost: one [randNum] (O(log^2 N) messages) plus one validated
+    transfer (O(log^2 N) messages).  With O(log^3 N) expected hops this
+    gives the paper's O(log^5 N) messages and O(log^4 N) rounds. *)
+
+type error =
+  [ `Validation_failed of int
+    (** a traversed cluster failed to validate the token — only possible
+        when some cluster lost its honest majority; carries the cluster *)
+  | `Too_many_restarts ]
+
+type stats = {
+  selected : int;  (** the chosen cluster *)
+  hops : int;  (** inter-cluster transfers performed *)
+  restarts : int;  (** rejected endpoints before acceptance *)
+}
+
+val rand_cl :
+  ?duration:float ->
+  ?max_restarts:int ->
+  Config.t ->
+  start:int ->
+  (stats, error) Stdlib.result
+(** [rand_cl cfg ~start] runs the walk from cluster [start].  [duration]
+    defaults to [2 * log2 (#clusters) / mean-degree] time units (about
+    [2 log2 #C] hops, the CTRW firing at rate deg(v)); [max_restarts]
+    to 1000. *)
+
+val pick_member : Config.t -> cluster:int -> int
+(** Uniform member of the cluster via {!Randnum} ([randNum(|C|)]). *)
+
+val pick_node :
+  ?duration:float -> Config.t -> start:int -> (int, error) Stdlib.result
+(** Quasi-uniform node sample: [randCl] then [pick_member]. *)

@@ -1,0 +1,89 @@
+(** The partition of nodes into clusters, with O(1) membership updates and
+    continuous Byzantine-fraction monitoring.
+
+    This is the state the NOW engine mutates on every join, leave, split,
+    merge and exchange.  All operations the hot path needs — uniform member
+    sampling, size-proportional cluster sampling (the distribution [randCl]
+    realises), swap of two nodes — are O(1) expected, which is what makes
+    polynomial-length Theorem-3 runs feasible.
+
+    The table also maintains, incrementally, the number of clusters
+    currently violating the >2/3-honest invariant and the cumulative count
+    of violation events — the quantities Theorem 3 bounds. *)
+
+type t
+
+val create : is_byzantine:(int -> bool) -> t
+(** [is_byzantine node] must be stable for the node's lifetime (the
+    adversary is static). *)
+
+val new_cluster : t -> members:int list -> int
+(** Create a cluster containing [members] (fresh cluster id returned).
+    Members must not belong to another cluster. *)
+
+val new_cluster_with_id : t -> cid:int -> members:int list -> unit
+(** Snapshot-restore constructor: install a cluster under an explicit id
+    (future fresh ids stay above it).  Raises [Invalid_argument] if the id
+    is in use. *)
+
+val dissolve : t -> int -> int list
+(** Remove a cluster; returns its former members, now homeless. *)
+
+val add_member : t -> cluster:int -> node:int -> unit
+val add_members : t -> cluster:int -> nodes:int list -> unit
+(** Batch insertion counted as one logical step for violation tracking. *)
+
+val remove_member : t -> node:int -> unit
+(** Raises [Not_found] if the node is homeless. *)
+
+val remove_members : t -> cluster:int -> nodes:int list -> unit
+(** Batch removal from one cluster, one logical step for violation
+    tracking (used by Split, where half the members leave at once). *)
+
+val swap : t -> int -> int -> unit
+(** Exchange the clusters of two nodes (no-op when they share one). *)
+
+val cluster_of : t -> int -> int
+val size : t -> int -> int
+val byz_count : t -> int -> int
+val byz_fraction : t -> int -> float
+val members : t -> int -> int list
+val exists : t -> int -> bool
+
+val n_clusters : t -> int
+val n_nodes : t -> int
+val cluster_ids : t -> int list
+val max_size : t -> int
+(** O(#clusters). *)
+
+val uniform_cluster : t -> Prng.Rng.t -> int
+(** Uniform over cluster ids. *)
+
+val sample_cluster_by_size : t -> Prng.Rng.t -> size_bound:int -> int
+(** Sample a cluster with probability proportional to its size — the
+    target distribution of [randCl] — by rejection against [size_bound]
+    (an upper bound on every cluster size; raises [Invalid_argument] if it
+    is not). *)
+
+val uniform_member : t -> Prng.Rng.t -> int -> int
+
+val iter_clusters : t -> (int -> unit) -> unit
+
+val violations_now : t -> int
+(** Number of clusters where Byzantine members are >= 1/3 of the cluster
+    (i.e. the >2/3-honest invariant does not hold), maintained in O(1). *)
+
+val violation_events : t -> int
+(** Number of transitions of any cluster into the violating state since
+    creation — Theorem 3 predicts 0 whp for suitable parameters. *)
+
+val restore_violation_events : t -> int -> unit
+(** Snapshot-restore hook: reinstate the cumulative event counter. *)
+
+val min_honest_fraction : t -> float
+(** Smallest honest fraction over all clusters; 1.0 when empty.
+    O(#clusters). *)
+
+val check_consistency : t -> unit
+(** Debug/test hook: verifies every index and counter invariant; raises
+    [Failure] on corruption. *)

@@ -1,0 +1,29 @@
+let randnum_messages ~size = 2 * size * (size - 1)
+
+let randnum_rounds = 2
+
+let valchan_messages ~src ~dst = src * dst
+
+let valchan_rounds = 2
+
+let hop_messages ~src ~dst = randnum_messages ~size:src + valchan_messages ~src ~dst
+
+let hop_rounds = randnum_rounds + valchan_rounds
+
+let transfer_messages ~src ~dst = src + dst
+
+let log2f x = log (float_of_int (max 2 x)) /. log 2.0
+
+let walk_duration ~walk_c ~n_clusters ~mean_degree =
+  walk_c *. log2f n_clusters /. Float.max 1.0 mean_degree
+
+let direct_hop_estimate ~walk_c ~n_clusters =
+  max 1 (int_of_float (ceil (walk_c *. log2f n_clusters)))
+
+let king_saia_messages ~n =
+  let fn = float_of_int n in
+  int_of_float (ceil ((fn ** 1.5) *. log2f n))
+
+let king_saia_rounds ~n =
+  let l = log2f n in
+  int_of_float (ceil (l *. l))

@@ -1,0 +1,45 @@
+(** Analytic message/round costs of the protocol primitives.
+
+    The message-level engine ([Cluster] library) measures these costs by
+    actually sending messages; the state-level engine charges the same
+    quantities through this module so that both ledgers agree (experiment
+    E5 cross-validates them).  The counts reflect the message-level
+    implementations:
+
+    - [randNum] in a cluster of size s: two all-to-all broadcast rounds
+      (escrow + reconstruction) = [2 s (s-1)] messages, 2 rounds;
+    - a validated inter-cluster transfer from a cluster of [s1] members to
+      one of [s2]: [s1 * s2] messages, 2 rounds (send + validate);
+    - one CTRW hop from cluster of size [s1] to neighbour of size [s2]:
+      one randNum plus one validated transfer;
+    - a composition (view) update: every member of the cluster messages
+      every member of every neighbouring cluster. *)
+
+val randnum_messages : size:int -> int
+val randnum_rounds : int
+
+val valchan_messages : src:int -> dst:int -> int
+val valchan_rounds : int
+
+val hop_messages : src:int -> dst:int -> int
+val hop_rounds : int
+
+val transfer_messages : src:int -> dst:int -> int
+(** Node-swap state transfer: the two swapped nodes introduce themselves
+    to their new cluster-mates: [src + dst] messages. *)
+
+val walk_duration : walk_c:float -> n_clusters:int -> mean_degree:float -> float
+(** CTRW duration: [walk_c * log2 (#clusters) / mean_degree] time units —
+    proportional to the mixing time of the continuous-time walk, whose
+    rate scales with the degree (E9 validates the default constant). *)
+
+val direct_hop_estimate : walk_c:float -> n_clusters:int -> int
+(** Expected hop count of one walk segment, [walk_c * log2 (#clusters)]
+    (a duration-T CTRW performs about [T * mean_degree] hops). *)
+
+val king_saia_messages : n:int -> int
+(** Modeled cost of the initialisation Byzantine agreement of [19]
+    (King–Saia): [n^1.5 * log2 n] messages (Õ(n sqrt n)). *)
+
+val king_saia_rounds : n:int -> int
+(** Modeled round count: [(log2 n)^2]. *)

@@ -1,0 +1,145 @@
+(** The NOW protocol engine (Sections 3 and 4) — state level.
+
+    Maintains the full protocol state — node roster, cluster partition,
+    OVER overlay — and executes the paper's operations:
+
+    - {!create} runs the initialisation phase (network discovery over a
+      physical bootstrap graph, Byzantine agreement, random clusterisation,
+      initial Erdős–Rényi overlay — Section 3.2, Fig. 1);
+    - {!join} / {!leave} are the maintenance operations of Section 3.3
+      (Algorithms 1 and 2), with Split and Merge triggered internally by
+      the [l k log N] size bounds, node shuffling by [exchange], and
+      destination selection by the biased CTRW [randCl].
+
+    Every operation charges its communication cost to the engine ledger
+    using {!Cost_model} and reports messages plus critical-path rounds
+    (member exchanges of one cluster proceed in parallel, as the paper's
+    O(log^4 N) round bound requires, so rounds are max-combined across
+    parallel walks and summed across sequential phases).
+
+    Depending on [Params.walk_mode], [randCl] either runs the exact biased
+    CTRW on the overlay ([Exact_walk]) or samples the target distribution
+    [|C|/n] directly while charging the analytic walk cost
+    ([Direct_sample] — for polynomial-length Theorem 3 runs; experiment E9
+    justifies the equivalence, E5 cross-checks the costs). *)
+
+type t
+
+type init_report = {
+  n0 : int;  (** nodes at initialisation *)
+  bootstrap_edges : int;  (** edges of the physical discovery graph *)
+  discovery_messages : int;
+  discovery_rounds : int;  (** bounded by the honest-adjacent diameter *)
+  agreement_messages : int;  (** modeled King–Saia cost, Õ(n sqrt n) *)
+  agreement_rounds : int;
+  partition_messages : int;
+  initial_clusters : int;
+}
+
+type op_report = {
+  messages : int;
+  rounds : int;  (** critical-path round count for the operation *)
+  splits : int;  (** split operations this operation triggered *)
+  merges : int;  (** merge operations this operation triggered *)
+  walks : int;  (** randCl invocations *)
+  walk_hops : int;  (** total CTRW hops across them *)
+  rejoins : int;  (** pending re-joins flushed (Rejoin_self merges) *)
+}
+
+val create : ?seed:int64 -> Params.t -> initial:Node.honesty list -> t
+(** Run the initialisation phase on the given population (the adversary
+    chooses which initial nodes are Byzantine — Section 2 allows
+    corruption from the very beginning).  Raises [Invalid_argument] if
+    [initial] is empty. *)
+
+val params : t -> Params.t
+val ledger : t -> Metrics.Ledger.t
+val roster : t -> Node.Roster.t
+val table : t -> Cluster_table.t
+val overlay : t -> Over.t
+val init_report : t -> init_report
+val time_step : t -> int
+(** Number of join/leave operations executed so far. *)
+
+val join : t -> Node.honesty -> Node.id * op_report
+(** A new node joins; the adversary decided its honesty.  Runs Algorithm 1
+    (insert into a [randCl]-chosen cluster, full exchange, split if
+    oversized). *)
+
+val exchange_cluster : t -> int -> op_report
+(** Run the [exchange] primitive on every member of the given cluster —
+    the operation Lemma 1 analyses (also usable as a proactive shuffle).
+    Raises [Not_found] for unknown clusters. *)
+
+val leave : t -> Node.id -> op_report
+(** The node leaves (voluntarily or killed by the adversary); its former
+    cluster detects the departure and runs Algorithm 2 (full exchange,
+    one-level exchange cascade to the clusters it swapped with, merge if
+    undersized). *)
+
+type totals = {
+  total_joins : int;
+  total_leaves : int;
+  total_splits : int;
+  total_merges : int;
+  total_rejoins : int;
+  total_walks : int;
+}
+
+val totals : t -> totals
+(** Lifetime operation counters (survive {!save}/{!load}). *)
+
+val n_nodes : t -> int
+(** Nodes currently in the system (including any awaiting re-join). *)
+
+val n_clusters : t -> int
+
+val random_node : t -> Node.id
+(** Uniformly random present node (adversary/workload helper; free of
+    charge — the adversary has full knowledge). *)
+
+val random_node_where : t -> (Node.id -> bool) -> Node.id option
+(** Uniform over nodes satisfying the predicate; rejection-sampled, [None]
+    if none found within a large budget. *)
+
+val uniform_member : t -> int -> Node.id
+(** Uniform member of the given cluster, drawn from the engine's
+    generator (the [randNum] step of node sampling). *)
+
+val rand_cl : t -> ?start:int -> unit -> int * op_report
+(** Expose the biased cluster selection (used by OVER call-backs, the
+    sampling application and E9).  [start] defaults to a uniform cluster. *)
+
+val min_honest_fraction : t -> float
+val violations_now : t -> int
+val violation_events : t -> int
+
+val cluster_sizes : t -> int list
+val byz_fractions : t -> float list
+
+val overlay_health : ?spectral_iterations:int -> t -> Over.health
+
+type batch_op = Batch_join of Node.honesty | Batch_leave of Node.id
+
+val batch : t -> batch_op list -> Node.id list * op_report
+(** Several joins and leaves in one time step — the footnote of Section 2
+    notes the analysis generalises to parallel operations.  State effects
+    are applied sequentially (deterministically); the report sums messages
+    but max-combines rounds, modelling the operations proceeding in
+    parallel.  Returns the ids of the joined nodes, in order. *)
+
+val save : t -> string
+(** Serialise the complete engine state — parameters, generator state,
+    roster, partition, overlay, ledger, pending re-joins — into a
+    line-oriented text snapshot.  {!load} resumes an identical engine:
+    the continuation of a loaded run is bit-for-bit the continuation of
+    the original (determinism). *)
+
+val load : string -> t
+(** Inverse of {!save}.  Raises [Failure] on a malformed snapshot. *)
+
+val check_invariants : t -> unit
+(** Test hook: verifies table consistency, roster/table agreement,
+    overlay/partition agreement and the cluster-size discipline
+    ([size <= max]; [size >= min] whenever more than one cluster exists
+    and no merge was skipped).  Raises [Failure] on violation. *)

@@ -1,0 +1,56 @@
+type id = int
+
+type honesty = Honest | Byzantine
+
+let is_byzantine = function Byzantine -> true | Honest -> false
+
+let pp_honesty ppf = function
+  | Honest -> Format.pp_print_string ppf "honest"
+  | Byzantine -> Format.pp_print_string ppf "byzantine"
+
+module Roster = struct
+  (* Honesty assignments are permanent (the adversary is static): a
+     departed node keeps its record so late bookkeeping — e.g. removing it
+     from a cluster after it left — can still classify it. *)
+  type t = {
+    all : (id, honesty) Hashtbl.t;
+    present : (id, unit) Hashtbl.t;
+    mutable next_id : int;
+    mutable byz_present : int;
+  }
+
+  let create () =
+    { all = Hashtbl.create 1024; present = Hashtbl.create 1024; next_id = 0; byz_present = 0 }
+
+  let fresh t honesty =
+    let id = t.next_id in
+    t.next_id <- id + 1;
+    Hashtbl.replace t.all id honesty;
+    Hashtbl.replace t.present id ();
+    if is_byzantine honesty then t.byz_present <- t.byz_present + 1;
+    id
+
+  let honesty t id =
+    match Hashtbl.find_opt t.all id with
+    | Some h -> h
+    | None -> raise Not_found
+
+  let is_present t id = Hashtbl.mem t.present id
+
+  let remove t id =
+    if not (Hashtbl.mem t.present id) then raise Not_found;
+    Hashtbl.remove t.present id;
+    if is_byzantine (honesty t id) then t.byz_present <- t.byz_present - 1
+
+  let count t = Hashtbl.length t.present
+
+  let byzantine_count t = t.byz_present
+
+  let byzantine_fraction t =
+    let n = count t in
+    if n = 0 then 0.0 else float_of_int t.byz_present /. float_of_int n
+
+  let total_allocated t = t.next_id
+
+  let iter t f = Hashtbl.iter (fun id () -> f id (honesty t id)) t.present
+end

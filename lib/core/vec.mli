@@ -1,0 +1,27 @@
+(** Dynamic integer arrays with O(1) swap-removal.
+
+    Cluster membership lists need O(1) uniform sampling, O(1) append and
+    O(1) removal by position (order is irrelevant — clusters are sets), so
+    a growable array with swap-remove fits exactly. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val of_list : int list -> t
+val length : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val push : t -> int -> unit
+
+val swap_remove : t -> int -> int
+(** [swap_remove t i] removes position [i] by moving the last element into
+    it and returns the removed value.  O(1). *)
+
+val iter : (int -> unit) -> t -> unit
+val iteri : (int -> int -> unit) -> t -> unit
+val to_list : t -> int list
+val to_array : t -> int array
+val mem : t -> int -> bool
+(** Linear scan. *)
+
+val clear : t -> unit

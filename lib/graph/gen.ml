@@ -1,0 +1,100 @@
+let erdos_renyi rng ~n ~p =
+  let g = Graph.create () in
+  for v = 0 to n - 1 do
+    Graph.add_vertex g v
+  done;
+  if p > 0.0 then begin
+    if p >= 1.0 then
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          ignore (Graph.add_edge g u v)
+        done
+      done
+    else begin
+      (* Enumerate candidate pairs in lexicographic order, skipping ahead by
+         Geometric(p) between present edges. *)
+      let total = n * (n - 1) / 2 in
+      let pos = ref (Prng.Rng.geometric rng p) in
+      while !pos < total do
+        (* Decode linear index !pos into the pair (u, v), u < v. *)
+        let idx = !pos in
+        let u = ref 0 and acc = ref 0 in
+        while !acc + (n - 1 - !u) <= idx do
+          acc := !acc + (n - 1 - !u);
+          incr u
+        done;
+        let v = !u + 1 + (idx - !acc) in
+        ignore (Graph.add_edge g !u v);
+        pos := !pos + 1 + Prng.Rng.geometric rng p
+      done
+    end
+  end;
+  g
+
+let is_connected g =
+  let n = Graph.n_vertices g in
+  if n = 0 then true
+  else begin
+    match Graph.vertices g with
+    | [] -> true
+    | start :: _ ->
+      let seen = Hashtbl.create n in
+      let queue = Queue.create () in
+      Hashtbl.add seen start ();
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        Graph.iter_neighbors g v (fun u ->
+            if not (Hashtbl.mem seen u) then begin
+              Hashtbl.add seen u ();
+              Queue.add u queue
+            end)
+      done;
+      Hashtbl.length seen = n
+  end
+
+let erdos_renyi_connected rng ~n ~p =
+  let rec attempt k =
+    if k = 0 then failwith "Gen.erdos_renyi_connected: no connected sample in 1000 tries";
+    let g = erdos_renyi rng ~n ~p in
+    if is_connected g then g else attempt (k - 1)
+  in
+  attempt 1000
+
+let random_regular_ish rng ~n ~d =
+  if d >= n then invalid_arg "Gen.random_regular_ish: need d < n";
+  let g = Graph.create () in
+  for v = 0 to n - 1 do
+    Graph.add_vertex g v
+  done;
+  let half = (d + 1) / 2 in
+  for v = 0 to n - 1 do
+    for _ = 1 to half do
+      let u = Prng.Rng.int rng n in
+      if u <> v then ignore (Graph.add_edge g v u)
+    done
+  done;
+  g
+
+let ring ~n =
+  let g = Graph.create () in
+  for v = 0 to n - 1 do
+    Graph.add_vertex g v
+  done;
+  if n > 1 then
+    for v = 0 to n - 1 do
+      ignore (Graph.add_edge g v ((v + 1) mod n))
+    done;
+  g
+
+let complete ~n =
+  let g = Graph.create () in
+  for v = 0 to n - 1 do
+    Graph.add_vertex g v
+  done;
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      ignore (Graph.add_edge g u v)
+    done
+  done;
+  g

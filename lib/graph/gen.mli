@@ -1,0 +1,21 @@
+(** Random graph generators. *)
+
+val erdos_renyi : Prng.Rng.t -> n:int -> p:float -> Graph.t
+(** G(n, p) on vertices [0 .. n-1]: each of the n(n-1)/2 edges present
+    independently with probability [p].  Uses geometric skips, so the cost
+    is O(n + #edges) rather than O(n^2). *)
+
+val erdos_renyi_connected : Prng.Rng.t -> n:int -> p:float -> Graph.t
+(** Like {!erdos_renyi} but resamples (up to 1000 times) until connected;
+    raises [Failure] if it never is. *)
+
+val random_regular_ish : Prng.Rng.t -> n:int -> d:int -> Graph.t
+(** Near-d-regular graph on [0 .. n-1]: each vertex draws edges to [d/2]
+    (rounded up) distinct uniform targets; parallel edges and self-loops
+    are dropped, so degrees concentrate around [d].  Requires [d < n]. *)
+
+val ring : n:int -> Graph.t
+(** Cycle on [0 .. n-1] — a deliberately *bad* expander, used as a negative
+    control in expansion tests. *)
+
+val complete : n:int -> Graph.t

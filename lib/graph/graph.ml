@@ -1,0 +1,110 @@
+type t = {
+  adj : (int, (int, unit) Hashtbl.t) Hashtbl.t;
+  mutable n_edges : int;
+}
+
+let create () = { adj = Hashtbl.create 64; n_edges = 0 }
+
+let add_vertex g v =
+  if not (Hashtbl.mem g.adj v) then Hashtbl.add g.adj v (Hashtbl.create 8)
+
+let has_vertex g v = Hashtbl.mem g.adj v
+
+let neighbors_tbl g v = Hashtbl.find_opt g.adj v
+
+let has_edge g u v =
+  match neighbors_tbl g u with
+  | None -> false
+  | Some nbrs -> Hashtbl.mem nbrs v
+
+let add_edge g u v =
+  if u = v then false
+  else begin
+    add_vertex g u;
+    add_vertex g v;
+    if has_edge g u v then false
+    else begin
+      Hashtbl.add (Hashtbl.find g.adj u) v ();
+      Hashtbl.add (Hashtbl.find g.adj v) u ();
+      g.n_edges <- g.n_edges + 1;
+      true
+    end
+  end
+
+let remove_edge g u v =
+  if has_edge g u v then begin
+    Hashtbl.remove (Hashtbl.find g.adj u) v;
+    Hashtbl.remove (Hashtbl.find g.adj v) u;
+    g.n_edges <- g.n_edges - 1;
+    true
+  end
+  else false
+
+let remove_vertex g v =
+  match neighbors_tbl g v with
+  | None -> ()
+  | Some nbrs ->
+    let to_remove = Hashtbl.fold (fun u () acc -> u :: acc) nbrs [] in
+    List.iter (fun u -> ignore (remove_edge g u v)) to_remove;
+    Hashtbl.remove g.adj v
+
+let degree g v =
+  match neighbors_tbl g v with
+  | None -> 0
+  | Some nbrs -> Hashtbl.length nbrs
+
+let neighbors g v =
+  match neighbors_tbl g v with
+  | None -> []
+  | Some nbrs -> Hashtbl.fold (fun u () acc -> u :: acc) nbrs []
+
+let iter_neighbors g v f =
+  match neighbors_tbl g v with
+  | None -> ()
+  | Some nbrs -> Hashtbl.iter (fun u () -> f u) nbrs
+
+let random_neighbor g rng v =
+  let d = degree g v in
+  if d = 0 then None
+  else begin
+    let target = Prng.Rng.int rng d in
+    let i = ref 0 in
+    let found = ref None in
+    iter_neighbors g v (fun u ->
+        if !i = target then found := Some u;
+        incr i);
+    !found
+  end
+
+let vertices g = Hashtbl.fold (fun v _ acc -> v :: acc) g.adj []
+
+let iter_vertices g f = Hashtbl.iter (fun v _ -> f v) g.adj
+
+let n_vertices g = Hashtbl.length g.adj
+
+let n_edges g = g.n_edges
+
+let fold_degrees g f init =
+  Hashtbl.fold (fun _ nbrs acc -> f acc (Hashtbl.length nbrs)) g.adj init
+
+let max_degree g = fold_degrees g max 0
+
+let min_degree g = if n_vertices g = 0 then 0 else fold_degrees g min max_int
+
+let mean_degree g =
+  let n = n_vertices g in
+  if n = 0 then 0.0 else 2.0 *. float_of_int g.n_edges /. float_of_int n
+
+let copy g =
+  let g' = create () in
+  iter_vertices g (fun v -> add_vertex g' v);
+  Hashtbl.iter
+    (fun v nbrs -> Hashtbl.iter (fun u () -> if v < u then ignore (add_edge g' v u)) nbrs)
+    g.adj;
+  g'
+
+let edges g =
+  Hashtbl.fold
+    (fun v nbrs acc ->
+      Hashtbl.fold (fun u () acc -> if v < u then (v, u) :: acc else acc) nbrs acc)
+    g.adj []

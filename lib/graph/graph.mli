@@ -1,0 +1,56 @@
+(** Undirected simple graphs over integer vertex ids.
+
+    This is the substrate for the OVER overlay: vertices are cluster ids
+    (arbitrary, reusable integers), edges are overlay links.  Mutations are
+    O(1) expected; adjacency is stored as hash sets, so neighbour iteration
+    is O(degree). *)
+
+type t
+
+val create : unit -> t
+
+val add_vertex : t -> int -> unit
+(** Idempotent. *)
+
+val remove_vertex : t -> int -> unit
+(** Removes the vertex and all incident edges; no-op if absent. *)
+
+val has_vertex : t -> int -> bool
+
+val add_edge : t -> int -> int -> bool
+(** [add_edge g u v] inserts the undirected edge; returns [false] if the
+    edge already existed or [u = v].  Adds missing endpoints. *)
+
+val remove_edge : t -> int -> int -> bool
+(** Returns [false] if the edge was absent. *)
+
+val has_edge : t -> int -> int -> bool
+
+val degree : t -> int -> int
+(** 0 for absent vertices. *)
+
+val neighbors : t -> int -> int list
+
+val iter_neighbors : t -> int -> (int -> unit) -> unit
+
+val random_neighbor : t -> Prng.Rng.t -> int -> int option
+(** Uniform neighbour of a vertex; [None] for isolated/absent vertices. *)
+
+val vertices : t -> int list
+
+val iter_vertices : t -> (int -> unit) -> unit
+
+val n_vertices : t -> int
+
+val n_edges : t -> int
+
+val max_degree : t -> int
+
+val min_degree : t -> int
+
+val mean_degree : t -> float
+
+val copy : t -> t
+
+val edges : t -> (int * int) list
+(** Each undirected edge once, with [u < v]. *)

@@ -1,0 +1,72 @@
+let bfs_distances g source =
+  let dist = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.add dist source 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    let dv = Hashtbl.find dist v in
+    Graph.iter_neighbors g v (fun u ->
+        if not (Hashtbl.mem dist u) then begin
+          Hashtbl.add dist u (dv + 1);
+          Queue.add u queue
+        end)
+  done;
+  dist
+
+let is_connected g =
+  match Graph.vertices g with
+  | [] -> true
+  | start :: _ -> Hashtbl.length (bfs_distances g start) = Graph.n_vertices g
+
+let connected_components g =
+  let seen = Hashtbl.create 64 in
+  let components = ref [] in
+  Graph.iter_vertices g (fun v ->
+      if not (Hashtbl.mem seen v) then begin
+        let dist = bfs_distances g v in
+        let comp = Hashtbl.fold (fun u _ acc -> u :: acc) dist [] in
+        List.iter (fun u -> Hashtbl.replace seen u ()) comp;
+        components := comp :: !components
+      end);
+  !components
+
+let eccentricity g v =
+  Hashtbl.fold (fun _ d acc -> max d acc) (bfs_distances g v) 0
+
+let diameter g =
+  if Graph.n_vertices g < 2 then 0
+  else begin
+    if not (is_connected g) then failwith "Traversal.diameter: disconnected graph";
+    List.fold_left (fun acc v -> max acc (eccentricity g v)) 0 (Graph.vertices g)
+  end
+
+(* BFS along edges adjacent to >= 1 honest endpoint. *)
+let honest_bfs g ~honest source =
+  let dist = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  Hashtbl.add dist source 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    let dv = Hashtbl.find dist v in
+    Graph.iter_neighbors g v (fun u ->
+        if (honest v || honest u) && not (Hashtbl.mem dist u) then begin
+          Hashtbl.add dist u (dv + 1);
+          Queue.add u queue
+        end)
+  done;
+  dist
+
+let honest_diameter g ~honest =
+  let honest_vertices = List.filter honest (Graph.vertices g) in
+  List.fold_left
+    (fun acc v ->
+      let dist = honest_bfs g ~honest v in
+      List.fold_left
+        (fun acc u ->
+          match Hashtbl.find_opt dist u with
+          | Some d -> max acc d
+          | None -> failwith "Traversal.honest_diameter: honest vertex unreachable")
+        acc honest_vertices)
+    0 honest_vertices

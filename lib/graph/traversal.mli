@@ -1,0 +1,24 @@
+(** Breadth-first traversal utilities. *)
+
+val bfs_distances : Graph.t -> int -> (int, int) Hashtbl.t
+(** Hop distances from a source to every reachable vertex (source included,
+    distance 0). *)
+
+val is_connected : Graph.t -> bool
+(** The empty graph is connected. *)
+
+val connected_components : Graph.t -> int list list
+
+val eccentricity : Graph.t -> int -> int
+(** Largest distance from the vertex to any reachable vertex. *)
+
+val diameter : Graph.t -> int
+(** Exact diameter via BFS from every vertex; [0] for graphs with fewer than
+    two vertices; raises [Failure] on disconnected graphs. *)
+
+val honest_diameter : Graph.t -> honest:(int -> bool) -> int
+(** Diameter of the graph restricted to edges adjacent to at least one
+    vertex satisfying [honest] — the metric used by the paper for the
+    discovery phase's round complexity.  Distances are measured between
+    honest vertices only; raises [Failure] if some honest vertex cannot
+    reach another through such edges. *)

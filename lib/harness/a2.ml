@@ -1,0 +1,86 @@
+(* A2 — ablation: CTRW walk-duration constant.  randCl must walk long
+   enough to mix (otherwise its output correlates with the start cluster
+   and the uniform-replacement premise of Lemma 1 breaks), but every unit
+   of duration costs hops ~ duration * degree.  This ablation sweeps
+   walk_duration_c, measuring sampling quality (TV distance of the walk's
+   cluster distribution against |C|/n) and the measured randCl message
+   cost — the quality/cost trade-off behind the default. *)
+
+module Engine = Now_core.Engine
+module Ct = Now_core.Cluster_table
+module Table = Metrics.Table
+
+let run ?(mode = Common.Quick) ?(seed = 2222L) () =
+  let trials = Common.scale mode ~quick:1500 ~full:8000 in
+  let table =
+    Table.create ~title:"A2 / ablation: walk duration constant (randCl quality vs cost)"
+      ~columns:
+        [ "walk c"; "trials"; "TV to |C|/n"; "mean msgs/walk"; "mean hops"; "ok" ]
+  in
+  let all_ok = ref true in
+  let results =
+    List.map
+      (fun walk_c ->
+        let params =
+          Now_core.Params.make ~k:4 ~tau:0.15 ~walk_duration_c:walk_c
+            ~walk_mode:Now_core.Params.Exact_walk ~n_max:(1 lsl 10) ()
+        in
+        let rng = Prng.Rng.create seed in
+        let initial = Common.initial_population rng ~n:700 ~tau:0.15 in
+        let engine = Engine.create ~seed params ~initial in
+        let tbl = Engine.table engine in
+        let counts = Hashtbl.create 32 in
+        let msgs = Metrics.Stats.create () in
+        let hops = Metrics.Stats.create () in
+        (* Always start from the same cluster: an unmixed walk shows up as
+           mass concentrated near the start. *)
+        let start = List.hd (Ct.cluster_ids tbl) in
+        for _ = 1 to trials do
+          let cid, report = Engine.rand_cl engine ~start () in
+          Hashtbl.replace counts cid
+            (1 + Option.value ~default:0 (Hashtbl.find_opt counts cid));
+          Metrics.Stats.add_int msgs report.Engine.messages;
+          Metrics.Stats.add_int hops report.Engine.walk_hops
+        done;
+        let n = float_of_int (Ct.n_nodes tbl) in
+        let tv =
+          Randwalk.Ctrw.tv_distance_to ~counts
+            ~target:(fun cid -> float_of_int (Ct.size tbl cid) /. n)
+            ~vertices:(Ct.cluster_ids tbl)
+        in
+        (walk_c, tv, Metrics.Stats.mean msgs, Metrics.Stats.mean hops))
+      [ 0.25; 1.0; 2.0; 4.0 ]
+  in
+  let tv_of c = List.find (fun (c', _, _, _) -> c' = c) results in
+  let _, tv_short, _, _ = tv_of 0.25 in
+  let _, tv_default, _, _ = tv_of 2.0 in
+  List.iter
+    (fun (walk_c, tv, mean_msgs, mean_hops) ->
+      (* Quality must improve with duration; the default must be well
+         mixed while the short walk must be visibly biased (otherwise the
+         sweep is not informative). *)
+      let ok =
+        if walk_c <= 0.25 then true
+        else tv <= tv_short +. 0.02
+      in
+      if not ok then all_ok := false;
+      Table.add_row table
+        [
+          Table.F2 walk_c; Table.I trials; Table.F tv; Table.F mean_msgs;
+          Table.F mean_hops; Table.S (if ok then "yes" else "NO");
+        ])
+    results;
+  let noise =
+    0.5 *. sqrt (2.0 *. 16.0 /. float_of_int trials)
+  in
+  if not (tv_default < Float.max (4.0 *. noise) 0.1 && tv_short > tv_default) then
+    all_ok := false;
+  Common.make_result ~id:"A2"
+    ~title:"Ablation — CTRW duration: mixing quality vs message cost" ~table
+    ~notes:
+      [
+        "short walks (c=0.25) are measurably biased toward the start \
+         cluster; by the default (c=2) the TV distance sits at the \
+         sampling-noise floor while cost grows only linearly in c.";
+      ]
+    ~ok:!all_ok ()

@@ -1,0 +1,3 @@
+(** Experiment A2 — see DESIGN.md section 4 and the header of a2.ml. *)
+
+val run : ?mode:Common.mode -> ?seed:int64 -> unit -> Common.result

@@ -1,0 +1,42 @@
+type result = {
+  id : string;
+  title : string;
+  table : Metrics.Table.t;
+  notes : string list;
+  ok : bool;
+}
+
+let make_result ~id ~title ~table ?(notes = []) ~ok () =
+  { id; title; table; notes; ok }
+
+let print_result r =
+  Printf.printf "---- %s: %s ----\n" r.id r.title;
+  Metrics.Table.print r.table;
+  List.iter (fun n -> Printf.printf "  note: %s\n" n) r.notes;
+  Printf.printf "  verdict: %s\n\n" (if r.ok then "OK (paper shape holds)" else "MISMATCH");
+  flush stdout
+
+type mode = Quick | Full
+
+let scale mode ~quick ~full = match mode with Quick -> quick | Full -> full
+
+let initial_population rng ~n ~tau =
+  let byz = int_of_float (tau *. float_of_int n) in
+  let arr =
+    Array.init n (fun i ->
+        if i < byz then Now_core.Node.Byzantine else Now_core.Node.Honest)
+  in
+  Prng.Rng.shuffle_in_place rng arr;
+  Array.to_list arr
+
+let default_engine ?(seed = 7L) ?(walk_mode = Now_core.Params.Direct_sample) ?(k = 8)
+    ?(tau = 0.15) ?(shuffle = true) ?(split_merge = true) ~n_max ~n0 () =
+  let params =
+    Now_core.Params.make ~k ~tau ~walk_mode ~shuffle_on_churn:shuffle
+      ~allow_split_merge:split_merge ~n_max ()
+  in
+  let rng = Prng.Rng.create (Int64.add seed 11L) in
+  let initial = initial_population rng ~n:n0 ~tau in
+  Now_core.Engine.create ~seed params ~initial
+
+let log2i n = log (float_of_int (max 1 n)) /. log 2.0

@@ -1,0 +1,3 @@
+(** Experiment E11 — see DESIGN.md section 4 and the header of e11.ml. *)
+
+val run : ?mode:Common.mode -> ?seed:int64 -> unit -> Common.result

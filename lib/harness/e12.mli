@@ -1,0 +1,4 @@
+(** Experiment E12 — end-to-end message-level NOW; see DESIGN.md section 4
+    and the header of e12.ml. *)
+
+val run : ?mode:Common.mode -> ?seed:int64 -> unit -> Common.result

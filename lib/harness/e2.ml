@@ -1,0 +1,127 @@
+(* E2 — Lemmas 2 and 3: between full exchanges, a cluster's Byzantine
+   fraction is dominated by a +-1/|C| martingale; it stays below
+   tau (1+eps) whp over O(log N) exchanges (Lemma 2, Azuma bound) and is
+   pulled back below tau (1+eps/2) within O(log N) exchanges (Lemma 3).
+
+   Part "model": simulate the dominating martingale of the proofs and
+   check the Azuma-Hoeffding tail.  Part "engine": run the full protocol
+   under neutral churn and measure excursions above tau (1+eps/2) and the
+   number of operations they take to be pulled back. *)
+
+module Engine = Now_core.Engine
+module Ct = Now_core.Cluster_table
+module Table = Metrics.Table
+module Rng = Prng.Rng
+
+let martingale_exceed_probability rng ~size ~tau ~eps ~steps ~trials =
+  let start = tau *. (1.0 +. (eps /. 2.0)) in
+  let limit = tau *. (1.0 +. eps) in
+  let exceeded = ref 0 in
+  for _ = 1 to trials do
+    let p = ref start in
+    let hit = ref false in
+    for _ = 1 to steps do
+      (* Dominating process (Lemma 2): up or down 1/|C|, each w.p. tau. *)
+      if Rng.bernoulli rng tau then p := !p +. (1.0 /. float_of_int size)
+      else if Rng.bernoulli rng tau then p := !p -. (1.0 /. float_of_int size);
+      if !p > limit then hit := true
+    done;
+    if !hit then incr exceeded
+  done;
+  float_of_int !exceeded /. float_of_int trials
+
+let azuma_bound ~size ~tau ~eps ~steps =
+  (* Deviation tau*eps/2 with increments 1/|C| over [steps] steps. *)
+  let dev = tau *. eps /. 2.0 in
+  exp (-.(dev *. dev) /. (2.0 *. float_of_int steps /. (float_of_int size ** 2.0)))
+
+let run ?(mode = Common.Quick) ?(seed = 202L) () =
+  let table =
+    Table.create ~title:"E2 / Lemmas 2-3: divergence between exchanges"
+      ~columns:
+        [
+          "part"; "k"; "|C|"; "tau"; "eps"; "steps"; "P(exceed)"; "azuma";
+          "episodes"; "mean return"; "max p_C"; "events"; "ok";
+        ]
+  in
+  let all_ok = ref true in
+  let rng = Rng.create seed in
+  (* ---- Part 1: the dominating martingale of the proofs. ---- *)
+  let trials = Common.scale mode ~quick:2000 ~full:20000 in
+  List.iter
+    (fun (k, tau, eps) ->
+      let size = k * 14 (* |C| at N = 2^14 *) in
+      let steps = 8 * 14 (* M log N with M = 8 *) in
+      let emp = martingale_exceed_probability rng ~size ~tau ~eps ~steps ~trials in
+      let bound = azuma_bound ~size ~tau ~eps ~steps in
+      let noise = 3.0 *. sqrt ((bound +. (1.0 /. float_of_int trials)) /. float_of_int trials) in
+      let ok = emp <= bound +. noise in
+      if not ok then all_ok := false;
+      Table.add_row table
+        [
+          Table.S "model"; Table.I k; Table.I size; Table.F2 tau; Table.F2 eps;
+          Table.I steps; Table.E emp; Table.E bound; Table.S "-"; Table.S "-";
+          Table.S "-"; Table.S "-"; Table.S (if ok then "yes" else "NO");
+        ])
+    [ (8, 0.15, 0.4); (16, 0.15, 0.4); (8, 0.25, 0.2) ];
+  (* ---- Part 2: the engine under neutral churn. ---- *)
+  let steps = Common.scale mode ~quick:1500 ~full:15000 in
+  List.iter
+    (fun k ->
+      let tau = 0.15 in
+      let eps = 0.4 in
+      let engine =
+        Common.default_engine ~seed ~k ~tau ~n_max:(1 lsl 14) ~n0:1200 ()
+      in
+      let driver =
+        Adversary.create ~seed:(Int64.add seed 5L) ~tau
+          ~strategy:(Adversary.Random_churn 0.5) engine
+      in
+      let threshold = tau *. (1.0 +. (eps /. 2.0)) in
+      let above : (int, int) Hashtbl.t = Hashtbl.create 32 in
+      let returns = Metrics.Stats.create () in
+      let max_p = ref 0.0 in
+      let tbl = Engine.table engine in
+      for step = 1 to steps do
+        Adversary.step driver;
+        Ct.iter_clusters tbl (fun cid ->
+            let p = Ct.byz_fraction tbl cid in
+            if p > !max_p then max_p := p;
+            match (Hashtbl.find_opt above cid, p > threshold) with
+            | None, true -> Hashtbl.replace above cid step
+            | Some entry, false ->
+              Hashtbl.remove above cid;
+              Metrics.Stats.add_int returns (step - entry)
+            | None, false | Some _, true -> ())
+      done;
+      let episodes = Metrics.Stats.count returns in
+      let mean_return = Metrics.Stats.mean returns in
+      let events = Engine.violation_events engine in
+      (* Lemma 3's shape: excursions are pulled back within O(log N)
+         operations and never reach 1/3 for adequate k. *)
+      let ok =
+        (episodes = 0 || mean_return <= 30.0 *. Common.log2i (1 lsl 14))
+        && (k < 16 || !max_p < 1.0 /. 3.0)
+      in
+      if not ok then all_ok := false;
+      Table.add_row table
+        [
+          Table.S "engine"; Table.I k;
+          Table.I (Now_core.Params.target_cluster_size (Engine.params engine));
+          Table.F2 tau; Table.F2 eps; Table.I steps; Table.S "-"; Table.S "-";
+          Table.I episodes;
+          Table.S (if episodes = 0 then "-" else Printf.sprintf "%.1f" mean_return);
+          Table.F !max_p; Table.I events; Table.S (if ok then "yes" else "NO");
+        ])
+    [ 8; 16 ];
+  Common.make_result ~id:"E2"
+    ~title:"Lemmas 2-3 — bounded divergence and O(log N) pull-back" ~table
+    ~notes:
+      [
+        "model rows: dominating martingale of the proofs vs the \
+         Azuma-Hoeffding bound.";
+        "engine rows: excursions above tau(1+eps/2) under neutral churn; \
+         'mean return' is the number of operations until the fraction is \
+         pulled back (Lemma 3 predicts O(log N)).";
+      ]
+    ~ok:!all_ok ()

@@ -1,0 +1,3 @@
+(** Experiment E2 — see DESIGN.md section 4 and the header of e2.ml. *)
+
+val run : ?mode:Common.mode -> ?seed:int64 -> unit -> Common.result

@@ -1,0 +1,3 @@
+(** Experiment E3 — see DESIGN.md section 4 and the header of e3.ml. *)
+
+val run : ?mode:Common.mode -> ?seed:int64 -> unit -> Common.result

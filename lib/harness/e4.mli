@@ -1,0 +1,3 @@
+(** Experiment E4 — see DESIGN.md section 4 and the header of e4.ml. *)
+
+val run : ?mode:Common.mode -> ?seed:int64 -> unit -> Common.result

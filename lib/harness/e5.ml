@@ -1,0 +1,208 @@
+(* E5 — Communication-cost claims (Sections 3.1/3.3):
+     randCl   : O(log^5 N) messages, O(log^4 N) rounds,
+     exchange : O(log^6 N) messages, O(log^4 N) rounds,
+     Join / Leave / Split / Merge : polylog(N) messages.
+
+   Part "msg-level": the primitives run with real per-node messages on the
+   simulation kernel (Cluster library); every count is measured.
+   Part "state": the engine in Exact_walk mode at a grid of N; the polylog
+   exponent is recovered by fitting log(cost) against log(log2 N), and a
+   power-law fit against n certifies sub-polynomial growth.  The two
+   ledgers are cross-validated at equal N. *)
+
+module Engine = Now_core.Engine
+module Table = Metrics.Table
+module Rng = Prng.Rng
+module Ledger = Metrics.Ledger
+
+let k = 8
+
+let msg_level_costs ~seed ~n_max ~walks =
+  let log2n = int_of_float (ceil (Common.log2i n_max)) in
+  let cluster_size = k * log2n in
+  (* Match the state-level engine's population (n = N/2) so the two
+     ledgers are comparable at equal N. *)
+  let n_clusters = max 3 (n_max / 2 / cluster_size) in
+  let overlay_degree =
+    min (n_clusters - 1)
+      (max 3 (int_of_float (2.0 *. (float_of_int log2n ** 1.25))))
+  in
+  let rng = Rng.create seed in
+  let ledger = Ledger.create () in
+  let cfg =
+    Cluster.Config.build_uniform ~rng ~ledger ~n_clusters ~cluster_size
+      ~byz_per_cluster:(cluster_size * 15 / 100) ~overlay_degree ()
+  in
+  let randcl_msgs = Metrics.Stats.create () in
+  let randcl_rounds = Metrics.Stats.create () in
+  for _ = 1 to walks do
+    let before = Ledger.snapshot ledger in
+    let start = Rng.int rng n_clusters in
+    (match Cluster.Walk.rand_cl cfg ~start with
+    | Ok _ -> ()
+    | Error _ -> failwith "E5: message-level walk failed");
+    let d = Ledger.since ledger before in
+    Metrics.Stats.add_int randcl_msgs d.Ledger.messages;
+    Metrics.Stats.add_int randcl_rounds d.Ledger.rounds
+  done;
+  let before = Ledger.snapshot ledger in
+  (match Cluster.Exchange.exchange_all cfg ~cluster:0 with
+  | Ok _ -> ()
+  | Error _ -> failwith "E5: message-level exchange failed");
+  let exch = Ledger.since ledger before in
+  (* Full message-level operations (Ops composes the primitives). *)
+  let before = Ledger.snapshot ledger in
+  (match
+     Cluster.Ops.join cfg ~node:(1_000_000 + n_max)
+       ~contact:(Rng.int rng n_clusters) ()
+   with
+  | Ok _ -> ()
+  | Error _ -> failwith "E5: message-level join failed");
+  let join_cost = Ledger.since ledger before in
+  let before = Ledger.snapshot ledger in
+  (match Cluster.Ops.leave cfg ~node:(1_000_000 + n_max) () with
+  | Ok _ -> ()
+  | Error _ -> failwith "E5: message-level leave failed");
+  let leave_cost = Ledger.since ledger before in
+  ( Metrics.Stats.mean randcl_msgs,
+    Metrics.Stats.mean randcl_rounds,
+    exch.Ledger.messages,
+    exch.Ledger.rounds,
+    join_cost.Ledger.messages,
+    leave_cost.Ledger.messages )
+
+let state_level_costs ~seed ~n_max ~ops =
+  let engine =
+    Common.default_engine ~seed ~k ~walk_mode:Now_core.Params.Exact_walk ~n_max
+      ~n0:(n_max / 2) ()
+  in
+  let join_msgs = Metrics.Stats.create () and join_rounds = Metrics.Stats.create () in
+  let leave_msgs = Metrics.Stats.create () and leave_rounds = Metrics.Stats.create () in
+  let randcl_msgs = Metrics.Stats.create () in
+  for _ = 1 to ops do
+    let _, r = Engine.join engine Now_core.Node.Honest in
+    Metrics.Stats.add_int join_msgs r.Engine.messages;
+    Metrics.Stats.add_int join_rounds r.Engine.rounds;
+    let r = Engine.leave engine (Engine.random_node engine) in
+    Metrics.Stats.add_int leave_msgs r.Engine.messages;
+    Metrics.Stats.add_int leave_rounds r.Engine.rounds;
+    let _, r = Engine.rand_cl engine () in
+    Metrics.Stats.add_int randcl_msgs r.Engine.messages
+  done;
+  (join_msgs, join_rounds, leave_msgs, leave_rounds, randcl_msgs)
+
+let run ?(mode = Common.Quick) ?(seed = 505L) () =
+  let table =
+    Table.create ~title:"E5 / cost of the primitives and maintenance operations"
+      ~columns:[ "part"; "N"; "op"; "mean msgs"; "mean rounds" ]
+  in
+  let notes = ref [] in
+  let all_ok = ref true in
+  (* ---- message level ---- *)
+  let msg_ns =
+    match mode with
+    | Common.Quick -> [ 1 lsl 8; 1 lsl 10 ]
+    | Common.Full -> [ 1 lsl 8; 1 lsl 10; 1 lsl 12 ]
+  in
+  let walks = Common.scale mode ~quick:8 ~full:25 in
+  let msg_results =
+    List.map
+      (fun n_max ->
+        let rc_m, rc_r, ex_m, ex_r, join_m, leave_m =
+          msg_level_costs ~seed ~n_max ~walks
+        in
+        Table.add_row table
+          [ Table.S "msg-level"; Table.I n_max; Table.S "randCl"; Table.F rc_m; Table.F rc_r ];
+        Table.add_row table
+          [
+            Table.S "msg-level"; Table.I n_max; Table.S "exchange(C)"; Table.I ex_m;
+            Table.I ex_r;
+          ];
+        Table.add_row table
+          [ Table.S "msg-level"; Table.I n_max; Table.S "join"; Table.I join_m; Table.S "-" ];
+        Table.add_row table
+          [ Table.S "msg-level"; Table.I n_max; Table.S "leave"; Table.I leave_m; Table.S "-" ];
+        (n_max, rc_m))
+      msg_ns
+  in
+  (* ---- state level ---- *)
+  let state_ns =
+    match mode with
+    | Common.Quick -> [ 1 lsl 8; 1 lsl 10; 1 lsl 12 ]
+    | Common.Full -> [ 1 lsl 8; 1 lsl 10; 1 lsl 12; 1 lsl 14 ]
+  in
+  let ops = Common.scale mode ~quick:8 ~full:30 in
+  let per_op = Hashtbl.create 8 in
+  List.iter
+    (fun n_max ->
+      let jm, jr, lm, lr, rc = state_level_costs ~seed ~n_max ~ops in
+      let add op stats_m stats_r =
+        Table.add_row table
+          [
+            Table.S "state"; Table.I n_max; Table.S op;
+            Table.F (Metrics.Stats.mean stats_m);
+            (match stats_r with
+            | Some r -> Table.F (Metrics.Stats.mean r)
+            | None -> Table.S "-");
+          ];
+        Hashtbl.replace per_op (op, n_max) (Metrics.Stats.mean stats_m)
+      in
+      add "join" jm (Some jr);
+      add "leave" lm (Some lr);
+      add "randCl" rc None)
+    state_ns;
+  (* ---- fits ----
+     Expected polylog exponents: randCl ~ 5 (paper: O(log^5 N)); join is
+     dominated by one full exchange ~ 6 (paper: O(log^6 N)); leave adds the
+     one-level cascade, bounded by min(#C - 1, |C|) clusters — below the
+     saturation point #C = |C| (i.e. n < k^2 log^2 N) the cascade grows
+     with n, so the small-scale exponent overshoots its asymptotic
+     O(log^7 N).  The bands below encode exactly that. *)
+  let fit_for op lo hi =
+    let points =
+      List.filter_map
+        (fun n ->
+          match Hashtbl.find_opt per_op (op, n) with
+          | Some m -> Some (float_of_int n, m)
+          | None -> None)
+        state_ns
+    in
+    let poly = Metrics.Fit.polylog points in
+    let power = Metrics.Fit.power_law points in
+    notes :=
+      Printf.sprintf
+        "%s: cost ~ log^%.2f N (R2=%.2f; accepted band [%.0f, %.0f]); \
+         power-law slope vs n = %.2f"
+        op poly.Metrics.Fit.slope poly.Metrics.Fit.r2 lo hi
+        power.Metrics.Fit.slope
+      :: !notes;
+    if
+      not
+        (poly.Metrics.Fit.slope > lo && poly.Metrics.Fit.slope < hi
+       && poly.Metrics.Fit.r2 > 0.7)
+    then all_ok := false
+  in
+  fit_for "randCl" 3.0 7.0;
+  fit_for "join" 4.0 9.0;
+  fit_for "leave" 5.0 15.0;
+  (* ---- cross-validation of the two engines ---- *)
+  List.iter
+    (fun (n_max, msg_randcl) ->
+      match Hashtbl.find_opt per_op ("randCl", n_max) with
+      | None -> ()
+      | Some state_randcl ->
+        let ratio = state_randcl /. Float.max 1.0 msg_randcl in
+        notes :=
+          Printf.sprintf
+            "cross-validation N=%d: state/message randCl message ratio = %.2f"
+            n_max ratio
+          :: !notes;
+        if ratio < 0.2 || ratio > 5.0 then all_ok := false)
+    msg_results;
+  notes :=
+    "leave's cascade touches min(#C - 1, k log N) clusters; below the \
+     saturation point #C = |C| its measured growth tracks #C ~ n, which is \
+     the pre-asymptotic regime — asymptotically it is O(log^7 N)."
+    :: !notes;
+  Common.make_result ~id:"E5" ~title:"Polylogarithmic maintenance costs" ~table
+    ~notes:(List.rev !notes) ~ok:!all_ok ()

@@ -1,0 +1,90 @@
+(* E6 — Initialisation phase (Section 3.2, Fig. 1): network discovery
+   while the network is small (n0 ~ sqrt N), then Byzantine agreement and
+   random clusterisation.  The paper bounds the phase by O(N^{3/2} log N)
+   — i.e. O(n0^3 log n0) — and the concluding remarks ask for o(n0^2);
+   our sparse bootstrap graph makes discovery Theta(n0^2 log n0).
+   We measure all components and fit the growth exponent. *)
+
+module Engine = Now_core.Engine
+module Table = Metrics.Table
+
+let run ?(mode = Common.Quick) ?(seed = 606L) () =
+  let n0s =
+    match mode with
+    | Common.Quick -> [ 1 lsl 8; 1 lsl 9; 1 lsl 10; 1 lsl 11 ]
+    | Common.Full -> [ 1 lsl 8; 1 lsl 9; 1 lsl 10; 1 lsl 11; 1 lsl 12; 1 lsl 13 ]
+  in
+  let table =
+    Table.create ~title:"E6 / initialisation cost (n0 = sqrt N)"
+      ~columns:
+        [
+          "n0"; "N"; "bootstrap edges"; "discovery msgs"; "discovery rounds";
+          "agreement msgs"; "partition msgs"; "total"; "paper bound n0^3";
+        ]
+  in
+  let points = ref [] in
+  let all_ok = ref true in
+  List.iter
+    (fun n0 ->
+      let n_max = n0 * n0 in
+      let engine = Common.default_engine ~seed ~n_max ~n0 () in
+      let r = Engine.init_report engine in
+      let total =
+        r.Engine.discovery_messages + r.Engine.agreement_messages
+        + r.Engine.partition_messages
+      in
+      let bound = float_of_int n0 ** 3.0 in
+      if float_of_int total > bound then all_ok := false;
+      points := (float_of_int n0, float_of_int total) :: !points;
+      Table.add_row table
+        [
+          Table.I n0; Table.I n_max; Table.I r.Engine.bootstrap_edges;
+          Table.I r.Engine.discovery_messages; Table.I r.Engine.discovery_rounds;
+          Table.I r.Engine.agreement_messages; Table.I r.Engine.partition_messages;
+          Table.I total; Table.E bound;
+        ])
+    n0s;
+  let fit = Metrics.Fit.power_law (List.rev !points) in
+  (* Between the concluding-remarks target (2) and the paper bound (3). *)
+  if not (fit.Metrics.Fit.slope > 1.5 && fit.Metrics.Fit.slope < 3.0) then
+    all_ok := false;
+  (* Cross-check the discovery model against the message-level flooding
+     protocol at a small n0: real messages must stay within the modeled
+     n*e charge, and real rounds within the honest-adjacent diameter (+
+     the drain round). *)
+  let discovery_notes =
+    List.map
+      (fun n0 ->
+        let rng = Prng.Rng.create (Int64.add seed 77L) in
+        let p = Float.min 1.0 (3.0 *. log (float_of_int n0) /. float_of_int n0) in
+        let g = Dsgraph.Gen.erdos_renyi_connected rng ~n:n0 ~p in
+        let byzantine node =
+          if node mod 7 = 0 then Some Agreement.Byz_behavior.Silent else None
+        in
+        let r = Cluster.Discovery.run g ~byzantine () in
+        let model = n0 * Dsgraph.Graph.n_edges g in
+        if
+          (not r.Cluster.Discovery.complete)
+          || r.Cluster.Discovery.messages > 2 * model
+          || r.Cluster.Discovery.rounds > r.Cluster.Discovery.honest_diameter_bound + 3
+        then all_ok := false;
+        Printf.sprintf
+          "msg-level discovery n0=%d: %d messages (model n*e = %d), %d rounds \
+           (honest diameter %d), complete=%b"
+          n0 r.Cluster.Discovery.messages model r.Cluster.Discovery.rounds
+          r.Cluster.Discovery.honest_diameter_bound r.Cluster.Discovery.complete)
+      [ 64; 128 ]
+  in
+  Common.make_result ~id:"E6" ~title:"Initialisation cost O(N^{3/2} log N)" ~table
+    ~notes:
+      ([
+         Printf.sprintf
+           "total initialisation cost ~ n0^%.2f (R2=%.2f); the paper's bound \
+            is n0^3 (= N^{3/2}), its open problem asks for o(n0^2)."
+           fit.Metrics.Fit.slope fit.Metrics.Fit.r2;
+         "agreement messages are the modeled King-Saia cost (DESIGN.md); \
+          discovery and partition are measured against the generated \
+          bootstrap graph.";
+       ]
+      @ discovery_notes)
+    ~ok:!all_ok ()

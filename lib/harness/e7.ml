@@ -1,0 +1,78 @@
+(* E7 — Cluster-size discipline: Split and Merge keep every cluster within
+   [k log N / l, l k log N] (Section 3.3), and splits/merges stay rare
+   (amortised well below one per operation).  We run neutral churn,
+   reading per-operation reports for the split/merge counts and scanning
+   the size range after every operation. *)
+
+module Engine = Now_core.Engine
+module Params = Now_core.Params
+module Table = Metrics.Table
+
+let run ?(mode = Common.Quick) ?(seed = 707L) () =
+  let steps = Common.scale mode ~quick:1500 ~full:15000 in
+  let table =
+    Table.create ~title:"E7 / cluster-size discipline and split/merge frequency"
+      ~columns:
+        [
+          "N"; "k"; "bounds"; "min size seen"; "max size seen"; "splits";
+          "merges"; "per 1k ops"; "ok";
+        ]
+  in
+  let all_ok = ref true in
+  let configs =
+    match mode with
+    | Common.Quick -> [ (1 lsl 12, 4); (1 lsl 14, 8) ]
+    | Common.Full -> [ (1 lsl 12, 4); (1 lsl 14, 8); (1 lsl 16, 8) ]
+  in
+  List.iter
+    (fun (n_max, k) ->
+      let engine = Common.default_engine ~seed ~k ~n_max ~n0:(n_max / 8) () in
+      let params = Engine.params engine in
+      let mins = Params.min_cluster_size params in
+      let maxs = Params.max_cluster_size params in
+      let min_seen = ref max_int and max_seen = ref 0 in
+      let splits = ref 0 and merges = ref 0 in
+      let scan () =
+        List.iter
+          (fun s ->
+            if s < !min_seen then min_seen := s;
+            if s > !max_seen then max_seen := s)
+          (Engine.cluster_sizes engine)
+      in
+      (* Alternate growth and shrink quarters so both Split and Merge fire,
+         plus a random component (the adversary may drive the size in any
+         pattern within [sqrt N, N]). *)
+      let rng = Prng.Rng.create seed in
+      let quarter = max 1 (steps / 4) in
+      for step = 1 to steps do
+        let grow =
+          if Prng.Rng.bernoulli rng 0.2 then Prng.Rng.bool rng
+          else step / quarter mod 2 = 0
+        in
+        let report =
+          if grow then snd (Engine.join engine Now_core.Node.Honest)
+          else Engine.leave engine (Engine.random_node engine)
+        in
+        splits := !splits + report.Engine.splits;
+        merges := !merges + report.Engine.merges;
+        scan ()
+      done;
+      Engine.check_invariants engine;
+      let ok = !min_seen >= mins && !max_seen <= maxs in
+      if not ok then all_ok := false;
+      let per_1k = 1000.0 *. float_of_int (!splits + !merges) /. float_of_int steps in
+      Table.add_row table
+        [
+          Table.I n_max; Table.I k; Table.S (Printf.sprintf "[%d, %d]" mins maxs);
+          Table.I !min_seen; Table.I !max_seen; Table.I !splits; Table.I !merges;
+          Table.F2 per_1k; Table.S (if ok then "yes" else "NO");
+        ])
+    configs;
+  Common.make_result ~id:"E7"
+    ~title:"Cluster sizes stay within [k log N / l, l k log N]" ~table
+    ~notes:
+      [
+        "Bounds are enforced by Split (> l k log N) and Merge (< k log N / l); \
+         the split/merge rate stays well below one per operation.";
+      ]
+    ~ok:!all_ok ()

@@ -1,0 +1,3 @@
+(** Experiment E7 — see DESIGN.md section 4 and the header of e7.ml. *)
+
+val run : ?mode:Common.mode -> ?seed:int64 -> unit -> Common.result

@@ -1,0 +1,79 @@
+(* E8 — Section 6 applications: clustered broadcast costs ~O(n log N)
+   messages against O(n^2) flat flooding, sampling costs polylog(n) per
+   draw against O(n) unstructured, and the global vote stays Õ(n).
+   The crossover and the asymptotic winner are the paper's claims; we also
+   fit the broadcast exponent. *)
+
+module Engine = Now_core.Engine
+module Table = Metrics.Table
+
+let run ?(mode = Common.Quick) ?(seed = 808L) () =
+  let ns =
+    match mode with
+    | Common.Quick -> [ 1 lsl 9; 1 lsl 10; 1 lsl 11; 1 lsl 12 ]
+    | Common.Full -> [ 1 lsl 9; 1 lsl 10; 1 lsl 11; 1 lsl 12; 1 lsl 13; 1 lsl 14 ]
+  in
+  let table =
+    Table.create ~title:"E8 / applications: clustered vs unclustered costs"
+      ~columns:
+        [
+          "n"; "bcast msgs"; "flat bcast"; "ratio"; "sample msgs"; "flat sample";
+          "vote msgs"; "BA msgs"; "flat BA"; "bcast safe"; "ok";
+        ]
+  in
+  let all_ok = ref true in
+  let bcast_points = ref [] in
+  List.iter
+    (fun n ->
+      let engine = Common.default_engine ~seed ~n_max:(n * 4) ~n0:n () in
+      let b = Apps.Broadcast.run engine ~origin:(Engine.random_node engine) in
+      let flat = Baseline.unclustered_broadcast_messages ~n in
+      let s = Apps.Sampling.sample engine in
+      let flat_sample = Baseline.unclustered_sample_messages ~n in
+      let v = Apps.Vote.run engine ~vote:(fun node -> node mod 3 = 0) () in
+      (* Full Byzantine agreement among virtual cluster processes vs the
+         whole-network King-Saia cost the introduction quotes. *)
+      let ba = Apps.Cluster_agreement.run engine ~input:(fun node -> node mod 2) () in
+      let flat_ba = Baseline.flat_phase_king_messages ~n in
+      let ratio = float_of_int b.Apps.Broadcast.messages /. float_of_int flat in
+      bcast_points := (float_of_int n, float_of_int b.Apps.Broadcast.messages) :: !bcast_points;
+      let ok =
+        b.Apps.Broadcast.all_reached
+        && b.Apps.Broadcast.byzantine_proof
+        && (n < 1024 || b.Apps.Broadcast.messages < flat)
+        && ba.Apps.Cluster_agreement.decision <> None
+        && ba.Apps.Cluster_agreement.messages < flat_ba
+      in
+      if not ok then all_ok := false;
+      ignore flat_sample;
+      Table.add_row table
+        [
+          Table.I n; Table.I b.Apps.Broadcast.messages; Table.I flat; Table.F ratio;
+          Table.I s.Apps.Sampling.messages; Table.I flat_sample;
+          Table.I v.Apps.Vote.messages;
+          Table.I ba.Apps.Cluster_agreement.messages; Table.I flat_ba;
+          Table.S (string_of_bool b.Apps.Broadcast.byzantine_proof);
+          Table.S (if ok then "yes" else "NO");
+        ])
+    ns;
+  let fit = Metrics.Fit.power_law (List.rev !bcast_points) in
+  (* Õ(n): near-linear, clearly below the flat-flooding n^2. *)
+  if not (fit.Metrics.Fit.slope < 1.5) then all_ok := false;
+  Common.make_result ~id:"E8"
+    ~title:"Section 6 — broadcast ~O(n) vs O(n^2); sampling polylog vs O(n)"
+    ~table
+    ~notes:
+      [
+        Printf.sprintf "clustered broadcast ~ n^%.2f (R2=%.2f); flat flooding is n^2."
+          fit.Metrics.Fit.slope fit.Metrics.Fit.r2;
+        "broadcast must reach every cluster and be Byzantine-proof (every \
+         traversed cluster honest-majority).";
+        "per-sample cost is polylog(n) but constant-heavy (one randCl + one \
+         randNum); it wins against the O(n) unstructured collection only \
+         past n ~ 10^5-10^6 — the asymptotic claim, honestly scaled.";
+        "BA columns: Phase-King over the #C virtual cluster processes \
+         (validated-channel expansion included) vs Phase-King over all n \
+         nodes — the introduction's load-sharing reduction, a factor ~|C| \
+         cheaper with the same machinery.";
+      ]
+    ~ok:!all_ok ()

@@ -1,0 +1,7 @@
+(** Reproductions of the paper's two figures — see the header of f12.ml. *)
+
+val f1 : ?mode:Common.mode -> ?seed:int64 -> unit -> Common.result
+(** Fig. 1: the two-phase overview (initialisation vs maintenance cost). *)
+
+val f2 : ?mode:Common.mode -> ?seed:int64 -> unit -> Common.result
+(** Fig. 2: per-operation costs of Join / Leave / Split / Merge. *)

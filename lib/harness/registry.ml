@@ -1,0 +1,44 @@
+type runner = Common.mode -> Common.result
+
+let all : (string * runner) list =
+  [
+    ("E1", fun mode -> E1.run ~mode ());
+    ("E2", fun mode -> E2.run ~mode ());
+    ("E3", fun mode -> E3.run ~mode ());
+    ("E4", fun mode -> E4.run ~mode ());
+    ("E5", fun mode -> E5.run ~mode ());
+    ("E6", fun mode -> E6.run ~mode ());
+    ("E7", fun mode -> E7.run ~mode ());
+    ("E8", fun mode -> E8.run ~mode ());
+    ("E9", fun mode -> E9.run ~mode ());
+    ("E10", fun mode -> E10.run ~mode ());
+    ("E11", fun mode -> E11.run ~mode ());
+    ("E12", fun mode -> E12.run ~mode ());
+    ("F1", fun mode -> F12.f1 ~mode ());
+    ("F2", fun mode -> F12.f2 ~mode ());
+    ("A1", fun mode -> A1.run ~mode ());
+    ("A2", fun mode -> A2.run ~mode ());
+  ]
+
+let find id =
+  let id = String.uppercase_ascii id in
+  List.assoc_opt id all
+
+let run_ids ~mode ids =
+  let selected =
+    match ids with
+    | [] -> all
+    | ids ->
+      List.map
+        (fun id ->
+          match find id with
+          | Some r -> (String.uppercase_ascii id, r)
+          | None -> invalid_arg (Printf.sprintf "unknown experiment id %S" id))
+        ids
+  in
+  List.map
+    (fun (_, runner) ->
+      let result = runner mode in
+      Common.print_result result;
+      result)
+    selected

@@ -1,0 +1,14 @@
+(** Experiment registry: every table/figure reproduction, addressable by id
+    (used by bench/main.exe, bin/now_sim and the test suite). *)
+
+type runner = Common.mode -> Common.result
+
+val all : (string * runner) list
+(** In presentation order: E1..E11, F1, F2, then the ablations A1, A2. *)
+
+val find : string -> runner option
+(** Case-insensitive lookup by id. *)
+
+val run_ids : mode:Common.mode -> string list -> Common.result list
+(** Run the experiments with the given ids ([[]] means all), printing each
+    result as it completes.  Raises [Invalid_argument] on an unknown id. *)

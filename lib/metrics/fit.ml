@@ -1,0 +1,48 @@
+type line = { slope : float; intercept : float; r2 : float }
+
+let linear points =
+  let n = List.length points in
+  if n < 2 then invalid_arg "Fit.linear: need at least two points";
+  let fn = float_of_int n in
+  let sx = List.fold_left (fun acc (x, _) -> acc +. x) 0.0 points in
+  let sy = List.fold_left (fun acc (_, y) -> acc +. y) 0.0 points in
+  let mx = sx /. fn and my = sy /. fn in
+  let sxx = List.fold_left (fun acc (x, _) -> acc +. ((x -. mx) ** 2.0)) 0.0 points in
+  let sxy =
+    List.fold_left (fun acc (x, y) -> acc +. ((x -. mx) *. (y -. my))) 0.0 points
+  in
+  let syy = List.fold_left (fun acc (_, y) -> acc +. ((y -. my) ** 2.0)) 0.0 points in
+  if sxx = 0.0 then invalid_arg "Fit.linear: all x identical";
+  let slope = sxy /. sxx in
+  let intercept = my -. (slope *. mx) in
+  let r2 = if syy = 0.0 then 1.0 else sxy *. sxy /. (sxx *. syy) in
+  { slope; intercept; r2 }
+
+let map_points f points =
+  List.map
+    (fun (x, y) ->
+      let x', y' = f x y in
+      (x', y'))
+    points
+
+let power_law points =
+  let points =
+    map_points
+      (fun x y ->
+        if x <= 0.0 || y <= 0.0 then
+          invalid_arg "Fit.power_law: points must be positive"
+        else (log x, log y))
+      points
+  in
+  linear points
+
+let polylog points =
+  let points =
+    map_points
+      (fun x y ->
+        if x <= 2.0 || y <= 0.0 then
+          invalid_arg "Fit.polylog: need x > 2 and y > 0"
+        else (log (log x /. log 2.0), log y))
+      points
+  in
+  linear points

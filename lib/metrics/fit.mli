@@ -1,0 +1,19 @@
+(** Least-squares fits used to check asymptotic complexity claims.
+
+    The paper states costs of the form [a * log^b N] (polylogarithmic) or
+    [a * N^b] (polynomial).  Fitting [log cost] linearly against
+    [log log N] (resp. [log N]) recovers the exponent [b]; E5/E6/E8 assert
+    the recovered exponents stay in the predicted range. *)
+
+type line = { slope : float; intercept : float; r2 : float }
+
+val linear : (float * float) list -> line
+(** Ordinary least squares on [(x, y)] points.  Requires >= 2 distinct x. *)
+
+val power_law : (float * float) list -> line
+(** Fit [y = a * x^b]: linear fit in log-log space.  [slope] is the
+    exponent [b], [exp intercept] is [a].  Points must be positive. *)
+
+val polylog : (float * float) list -> line
+(** Fit [y = a * (log2 x)^b]: linear fit of [log y] against [log (log2 x)].
+    [slope] is the polylog exponent [b].  Points must satisfy [x > 2]. *)

@@ -1,0 +1,103 @@
+type t = {
+  lo : float;
+  hi : float;
+  width : float;
+  counts : int array;
+  mutable n : int;
+}
+
+let create ~lo ~hi ~bins =
+  if bins <= 0 then invalid_arg "Histogram.create: bins must be positive";
+  if not (hi > lo) then invalid_arg "Histogram.create: need hi > lo";
+  { lo; hi; width = (hi -. lo) /. float_of_int bins; counts = Array.make bins 0; n = 0 }
+
+let bin_of t x =
+  let bins = Array.length t.counts in
+  if x <= t.lo then 0
+  else if x >= t.hi then bins - 1
+  else
+    let i = int_of_float ((x -. t.lo) /. t.width) in
+    if i >= bins then bins - 1 else i
+
+let add t x =
+  let i = bin_of t x in
+  t.counts.(i) <- t.counts.(i) + 1;
+  t.n <- t.n + 1
+
+let count t = t.n
+
+let bin_count t i = t.counts.(i)
+
+let bin_bounds t i =
+  let lo = t.lo +. (float_of_int i *. t.width) in
+  (lo, lo +. t.width)
+
+let to_list t =
+  List.init (Array.length t.counts) (fun i ->
+      let lo, hi = bin_bounds t i in
+      (lo, hi, t.counts.(i)))
+
+let pp ppf t =
+  let bins = Array.length t.counts in
+  let first = ref bins and last = ref (-1) in
+  Array.iteri
+    (fun i c ->
+      if c > 0 then begin
+        if i < !first then first := i;
+        if i > !last then last := i
+      end)
+    t.counts;
+  if !last < 0 then Format.fprintf ppf "(empty histogram)"
+  else begin
+    let maxc = Array.fold_left max 1 t.counts in
+    for i = !first to !last do
+      let lo, hi = bin_bounds t i in
+      let bar_len = t.counts.(i) * 40 / maxc in
+      Format.fprintf ppf "[%8.3g, %8.3g) %7d %s@." lo hi t.counts.(i)
+        (String.make bar_len '#')
+    done
+  end
+
+module Samples = struct
+  type t = { mutable data : float array; mutable len : int; mutable sorted : bool }
+
+  let create () = { data = Array.make 64 0.0; len = 0; sorted = true }
+
+  let add t x =
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) 0.0 in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1;
+    t.sorted <- false
+
+  let add_int t x = add t (float_of_int x)
+
+  let count t = t.len
+
+  let ensure_sorted t =
+    if not t.sorted then begin
+      let active = Array.sub t.data 0 t.len in
+      Array.sort compare active;
+      Array.blit active 0 t.data 0 t.len;
+      t.sorted <- true
+    end
+
+  let percentile t p =
+    if t.len = 0 then nan
+    else begin
+      ensure_sorted t;
+      let rank = p /. 100.0 *. float_of_int (t.len - 1) in
+      let i = int_of_float (Float.round rank) in
+      let i = if i < 0 then 0 else if i >= t.len then t.len - 1 else i in
+      t.data.(i)
+    end
+
+  let median t = percentile t 50.0
+
+  let to_array t =
+    ensure_sorted t;
+    Array.sub t.data 0 t.len
+end

@@ -1,0 +1,40 @@
+(** Fixed-bin and reservoir histograms with percentile queries. *)
+
+type t
+(** Fixed-bin histogram over a closed range; out-of-range observations are
+    clamped to the edge bins. *)
+
+val create : lo:float -> hi:float -> bins:int -> t
+(** [create ~lo ~hi ~bins] divides [lo, hi] into [bins] equal bins. *)
+
+val add : t -> float -> unit
+val count : t -> int
+val bin_count : t -> int -> int
+(** Observations in bin [i] (0-based). *)
+
+val bin_bounds : t -> int -> float * float
+(** Lower and upper edge of bin [i]. *)
+
+val to_list : t -> (float * float * int) list
+(** [(lo, hi, count)] for every bin. *)
+
+val pp : Format.formatter -> t -> unit
+(** Render as a small ASCII bar chart (skips empty leading/trailing bins). *)
+
+(** Exact-percentile sample store (keeps every observation; use for
+    experiment-scale sample counts). *)
+module Samples : sig
+  type t
+
+  val create : unit -> t
+  val add : t -> float -> unit
+  val add_int : t -> int -> unit
+  val count : t -> int
+  val percentile : t -> float -> float
+  (** [percentile t p] with [p] in [0,100]; nearest-rank on the sorted
+      samples.  [nan] when empty. *)
+
+  val median : t -> float
+  val to_array : t -> float array
+  (** Sorted copy of the samples. *)
+end

@@ -1,0 +1,55 @@
+type entry = { mutable messages : int; mutable rounds : int }
+
+type t = {
+  by_label : (string, entry) Hashtbl.t;
+  mutable total_messages : int;
+  mutable total_rounds : int;
+}
+
+let create () = { by_label = Hashtbl.create 16; total_messages = 0; total_rounds = 0 }
+
+let entry t label =
+  match Hashtbl.find_opt t.by_label label with
+  | Some e -> e
+  | None ->
+    let e = { messages = 0; rounds = 0 } in
+    Hashtbl.add t.by_label label e;
+    e
+
+let charge t ~label ~messages ~rounds =
+  let e = entry t label in
+  e.messages <- e.messages + messages;
+  e.rounds <- e.rounds + rounds;
+  t.total_messages <- t.total_messages + messages;
+  t.total_rounds <- t.total_rounds + rounds
+
+let total_messages t = t.total_messages
+
+let total_rounds t = t.total_rounds
+
+let label_messages t label =
+  match Hashtbl.find_opt t.by_label label with
+  | Some e -> e.messages
+  | None -> 0
+
+let labels t =
+  Hashtbl.fold (fun label e acc -> (label, e.messages, e.rounds) :: acc) t.by_label []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let reset t =
+  Hashtbl.reset t.by_label;
+  t.total_messages <- 0;
+  t.total_rounds <- 0
+
+type snapshot = { messages : int; rounds : int }
+
+let snapshot t = { messages = t.total_messages; rounds = t.total_rounds }
+
+let since t snap =
+  { messages = t.total_messages - snap.messages; rounds = t.total_rounds - snap.rounds }
+
+let pp ppf t =
+  Format.fprintf ppf "total: %d messages, %d rounds@." t.total_messages t.total_rounds;
+  List.iter
+    (fun (label, m, r) -> Format.fprintf ppf "  %-24s %12d msgs %10d rounds@." label m r)
+    (labels t)

@@ -1,0 +1,34 @@
+(** Communication-cost accounting.
+
+    The paper measures protocols by the number of (equal-size) messages
+    exchanged and by round complexity (number of successive communication
+    rounds).  Every protocol primitive in this reproduction charges its
+    message and round cost to a ledger, tagged with the primitive's label,
+    so experiments can report both totals and per-primitive breakdowns. *)
+
+type t
+
+val create : unit -> t
+
+val charge : t -> label:string -> messages:int -> rounds:int -> unit
+(** Add [messages] messages and [rounds] sequential rounds under [label]. *)
+
+val total_messages : t -> int
+val total_rounds : t -> int
+
+val label_messages : t -> string -> int
+(** Messages charged under a label so far (0 if never charged). *)
+
+val labels : t -> (string * int * int) list
+(** [(label, messages, rounds)] sorted by label. *)
+
+val reset : t -> unit
+
+type snapshot = { messages : int; rounds : int }
+
+val snapshot : t -> snapshot
+
+val since : t -> snapshot -> snapshot
+(** Cost accumulated since [snapshot] was taken. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,170 @@
+module Graph = Dsgraph.Graph
+module Rng = Prng.Rng
+
+type cycle = {
+  succ : (int, int) Hashtbl.t;
+  pred : (int, int) Hashtbl.t;
+}
+
+type t = {
+  rng : Rng.t;
+  cycles : cycle array;
+  g : Graph.t;  (* union of the cycles, simple *)
+  edge_count : (int * int, int) Hashtbl.t;  (* multiplicity across cycles *)
+  mutable vertex_list : int array;  (* for O(1) random picks *)
+  mutable n : int;
+  index : (int, int) Hashtbl.t;  (* vertex -> position in vertex_list *)
+}
+
+let canon u v = if u < v then (u, v) else (v, u)
+
+(* Multiplicity-aware edge insertion/removal into the simple union graph. *)
+let edge_add t u v =
+  if u <> v then begin
+    let key = canon u v in
+    let c = Option.value ~default:0 (Hashtbl.find_opt t.edge_count key) in
+    Hashtbl.replace t.edge_count key (c + 1);
+    if c = 0 then ignore (Graph.add_edge t.g u v)
+  end
+
+let edge_remove t u v =
+  if u <> v then begin
+    let key = canon u v in
+    match Hashtbl.find_opt t.edge_count key with
+    | None -> ()
+    | Some 1 ->
+      Hashtbl.remove t.edge_count key;
+      ignore (Graph.remove_edge t.g u v)
+    | Some c -> Hashtbl.replace t.edge_count key (c - 1)
+  end
+
+let n_vertices t = t.n
+
+let mem t v = Hashtbl.mem t.index v
+
+let graph t = t.g
+
+let push_vertex t v =
+  if t.n = Array.length t.vertex_list then begin
+    let bigger = Array.make (max 8 (2 * t.n)) 0 in
+    Array.blit t.vertex_list 0 bigger 0 t.n;
+    t.vertex_list <- bigger
+  end;
+  t.vertex_list.(t.n) <- v;
+  Hashtbl.replace t.index v t.n;
+  t.n <- t.n + 1
+
+let pop_vertex t v =
+  let pos = Hashtbl.find t.index v in
+  t.n <- t.n - 1;
+  let last = t.vertex_list.(t.n) in
+  t.vertex_list.(pos) <- last;
+  Hashtbl.replace t.index last pos;
+  Hashtbl.remove t.index v
+
+let random_vertex t = t.vertex_list.(Rng.int t.rng t.n)
+
+(* Splice v into a cycle right after u. *)
+let splice_in t cycle ~after:u v =
+  let w = Hashtbl.find cycle.succ u in
+  Hashtbl.replace cycle.succ u v;
+  Hashtbl.replace cycle.pred v u;
+  Hashtbl.replace cycle.succ v w;
+  Hashtbl.replace cycle.pred w v;
+  edge_remove t u w;
+  edge_add t u v;
+  edge_add t v w
+
+let splice_out t cycle v =
+  let u = Hashtbl.find cycle.pred v in
+  let w = Hashtbl.find cycle.succ v in
+  Hashtbl.remove cycle.succ v;
+  Hashtbl.remove cycle.pred v;
+  Hashtbl.replace cycle.succ u w;
+  Hashtbl.replace cycle.pred w u;
+  edge_remove t u v;
+  edge_remove t v w;
+  edge_add t u w
+
+let create ~rng ~r ~initial =
+  if r < 1 then invalid_arg "Cycles.create: need r >= 1";
+  let initial = List.sort_uniq compare initial in
+  if List.length initial < 3 then invalid_arg "Cycles.create: need at least 3 vertices";
+  let g = Graph.create () in
+  List.iter (fun v -> Graph.add_vertex g v) initial;
+  let t =
+    {
+      rng;
+      cycles = Array.init r (fun _ -> { succ = Hashtbl.create 64; pred = Hashtbl.create 64 });
+      g;
+      edge_count = Hashtbl.create 256;
+      vertex_list = Array.make 8 0;
+      n = 0;
+      index = Hashtbl.create 64;
+    }
+  in
+  List.iter (fun v -> push_vertex t v) initial;
+  (* Each cycle is an independent random permutation closed into a tour. *)
+  Array.iter
+    (fun cycle ->
+      let order = Rng.shuffle t.rng (Array.sub t.vertex_list 0 t.n) in
+      let len = Array.length order in
+      for i = 0 to len - 1 do
+        let u = order.(i) and v = order.((i + 1) mod len) in
+        Hashtbl.replace cycle.succ u v;
+        Hashtbl.replace cycle.pred v u;
+        edge_add t u v
+      done)
+    t.cycles;
+  t
+
+let add_vertex t v =
+  if mem t v then invalid_arg "Cycles.add_vertex: vertex already present";
+  Graph.add_vertex t.g v;
+  Array.iter (fun cycle -> splice_in t cycle ~after:(random_vertex t) v) t.cycles;
+  push_vertex t v
+
+let remove_vertex t v =
+  if mem t v then begin
+    if t.n <= 3 then invalid_arg "Cycles.remove_vertex: would drop below 3 vertices";
+    Array.iter (fun cycle -> splice_out t cycle v) t.cycles;
+    pop_vertex t v;
+    Graph.remove_vertex t.g v
+  end
+
+let health ?spectral_iterations t = Overlay_health.graph_health ?spectral_iterations t.g
+
+let check_consistency t =
+  Array.iter
+    (fun cycle ->
+      if Hashtbl.length cycle.succ <> t.n then failwith "Cycles: succ size mismatch";
+      (* The tour must visit every vertex exactly once. *)
+      let start = t.vertex_list.(0) in
+      let seen = Hashtbl.create t.n in
+      let rec walk v steps =
+        if steps > t.n then failwith "Cycles: tour does not close"
+        else if v = start && steps > 0 then begin
+          if steps <> t.n then failwith "Cycles: tour misses vertices"
+        end
+        else begin
+          if Hashtbl.mem seen v then failwith "Cycles: vertex revisited";
+          Hashtbl.replace seen v ();
+          (match Hashtbl.find_opt cycle.pred (Hashtbl.find cycle.succ v) with
+          | Some p when p = v -> ()
+          | _ -> failwith "Cycles: pred/succ out of sync");
+          walk (Hashtbl.find cycle.succ v) (steps + 1)
+        end
+      in
+      walk start 0)
+    t.cycles;
+  (* Union graph matches the edge multiset. *)
+  Hashtbl.iter
+    (fun (u, v) c ->
+      if c < 1 then failwith "Cycles: zero-count edge retained";
+      if not (Graph.has_edge t.g u v) then failwith "Cycles: union graph missing edge")
+    t.edge_count;
+  List.iter
+    (fun (u, v) ->
+      if not (Hashtbl.mem t.edge_count (canon u v)) then
+        failwith "Cycles: union graph has a stray edge")
+    (Graph.edges t.g)

@@ -1,0 +1,38 @@
+module Graph = Dsgraph.Graph
+
+type health = {
+  n_vertices : int;
+  n_edges : int;
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  connected : bool;
+  spectral_expansion_lower : float;
+  sweep_expansion_upper : float;
+}
+
+let graph_health ?(spectral_iterations = 500) g =
+  let connected = Dsgraph.Traversal.is_connected g in
+  let spectral_lower, sweep_upper =
+    if Graph.n_vertices g < 2 then (infinity, infinity)
+    else if not connected then (0.0, 0.0)
+    else
+      ( Dsgraph.Expansion.spectral_lower ~iterations:spectral_iterations g,
+        Dsgraph.Expansion.sweep_upper ~iterations:spectral_iterations g )
+  in
+  {
+    n_vertices = Graph.n_vertices g;
+    n_edges = Graph.n_edges g;
+    min_degree = Graph.min_degree g;
+    max_degree = Graph.max_degree g;
+    mean_degree = Graph.mean_degree g;
+    connected;
+    spectral_expansion_lower = spectral_lower;
+    sweep_expansion_upper = sweep_upper;
+  }
+
+let pp_health ppf h =
+  Format.fprintf ppf
+    "vertices=%d edges=%d degree[%d..%d] mean=%.1f connected=%b I(G) in [%.3f, %.3f]"
+    h.n_vertices h.n_edges h.min_degree h.max_degree h.mean_degree h.connected
+    h.spectral_expansion_lower h.sweep_expansion_upper

@@ -1,0 +1,17 @@
+(** Overlay health measurement (Properties 1 and 2 of the paper), shared
+    by every overlay construction (OVER, the Law–Siu cycle union). *)
+
+type health = {
+  n_vertices : int;
+  n_edges : int;
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  connected : bool;
+  spectral_expansion_lower : float;  (** mu2/2 lower bound on I(G) *)
+  sweep_expansion_upper : float;  (** Fiedler sweep-cut upper bound on I(G) *)
+}
+
+val graph_health : ?spectral_iterations:int -> Dsgraph.Graph.t -> health
+
+val pp_health : Format.formatter -> health -> unit

@@ -1,0 +1,99 @@
+module Graph = Dsgraph.Graph
+module Rng = Prng.Rng
+
+let walk g rng ~start ~duration ?(on_hop = fun _ _ -> ()) () =
+  let rec go v remaining hops =
+    let d = Graph.degree g v in
+    if d = 0 then (v, hops)
+    else begin
+      (* Each adjacent edge fires at rate 1 => holding time Exp(deg v). *)
+      let hold = Rng.exponential rng (float_of_int d) in
+      if hold >= remaining then (v, hops)
+      else begin
+        match Graph.random_neighbor g rng v with
+        | None -> (v, hops)
+        | Some u ->
+          on_hop v u;
+          go u (remaining -. hold) (hops + 1)
+      end
+    end
+  in
+  go start duration 0
+
+let biased_select g rng ~start ~duration ~weight ~max_weight
+    ?(on_hop = fun _ _ -> ()) ?(on_restart = fun _ -> ()) ?(max_restarts = 10_000) () =
+  if max_weight <= 0.0 then invalid_arg "Ctrw.biased_select: max_weight must be positive";
+  let rec attempt from restarts =
+    if restarts > max_restarts then
+      failwith "Ctrw.biased_select: too many rejections (is max_weight too large?)";
+    let v, _hops = walk g rng ~start:from ~duration ~on_hop () in
+    let p = weight v /. max_weight in
+    if Rng.bernoulli rng p then v
+    else begin
+      on_restart v;
+      attempt v (restarts + 1)
+    end
+  in
+  attempt start 0
+
+let endpoint_counts g rng ~start ~duration ~trials =
+  let counts = Hashtbl.create 64 in
+  for _ = 1 to trials do
+    let v, _ = walk g rng ~start ~duration () in
+    let c = match Hashtbl.find_opt counts v with Some c -> c | None -> 0 in
+    Hashtbl.replace counts v (c + 1)
+  done;
+  counts
+
+let rec tv_probe g rng ~start ~duration ~trials ~tv_target ~vertices ~n =
+  if duration > 65536.0 then
+    failwith "Ctrw.estimate_mixing_duration: graph does not mix within 2^16 units";
+  let counts = Hashtbl.create 64 in
+  for _ = 1 to trials do
+    let v, _ = walk g rng ~start ~duration () in
+    Hashtbl.replace counts v (1 + Option.value ~default:0 (Hashtbl.find_opt counts v))
+  done;
+  let total = float_of_int trials in
+  let tv =
+    List.fold_left
+      (fun acc v ->
+        let emp =
+          match Hashtbl.find_opt counts v with
+          | Some c -> float_of_int c /. total
+          | None -> 0.0
+        in
+        acc +. abs_float (emp -. (1.0 /. n)))
+      0.0 vertices
+    /. 2.0
+  in
+  if tv <= tv_target then duration
+  else tv_probe g rng ~start ~duration:(2.0 *. duration) ~trials ~tv_target ~vertices ~n
+
+and estimate_mixing_duration g rng ?(tv_target = 0.1) ?(trials = 2000) ?start () =
+  let vertices = Dsgraph.Graph.vertices g in
+  match vertices with
+  | [] -> invalid_arg "Ctrw.estimate_mixing_duration: empty graph"
+  | v0 :: _ ->
+    let start = Option.value ~default:v0 start in
+    let n = float_of_int (List.length vertices) in
+    let mean_degree = Float.max 1.0 (Dsgraph.Graph.mean_degree g) in
+    tv_probe g rng ~start ~duration:(0.25 /. mean_degree) ~trials ~tv_target ~vertices
+      ~n
+
+let tv_distance_to ~counts ~target ~vertices =
+  let total =
+    Hashtbl.fold (fun _ c acc -> acc + c) counts 0 |> float_of_int
+  in
+  if total = 0.0 then invalid_arg "Ctrw.tv_distance_to: empty counts";
+  let diff =
+    List.fold_left
+      (fun acc v ->
+        let empirical =
+          match Hashtbl.find_opt counts v with
+          | Some c -> float_of_int c /. total
+          | None -> 0.0
+        in
+        acc +. abs_float (empirical -. target v))
+      0.0 vertices
+  in
+  diff /. 2.0

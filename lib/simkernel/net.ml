@@ -1,0 +1,89 @@
+type 'msg handler = round:int -> inbox:(int * 'msg) list -> unit
+
+type 'msg node = { mutable handler : 'msg handler; mutable inbox_rev : (int * 'msg) list }
+
+type 'msg t = {
+  nodes : (int, 'msg node) Hashtbl.t;
+  mutable pending : (int * int * 'msg) list;  (* (src, dst, msg), reversed send order *)
+  mutable round : int;
+  mutable messages_sent : int;
+  ledger : Metrics.Ledger.t;
+}
+
+let create ?ledger () =
+  let ledger = match ledger with Some l -> l | None -> Metrics.Ledger.create () in
+  { nodes = Hashtbl.create 256; pending = []; round = 0; messages_sent = 0; ledger }
+
+let ledger t = t.ledger
+
+let add_node t ~id handler =
+  if Hashtbl.mem t.nodes id then invalid_arg "Net.add_node: id already in use";
+  Hashtbl.add t.nodes id { handler; inbox_rev = [] }
+
+let replace_handler t ~id handler =
+  match Hashtbl.find_opt t.nodes id with
+  | Some node -> node.handler <- handler
+  | None -> invalid_arg "Net.replace_handler: unknown node"
+
+let remove_node t id = Hashtbl.remove t.nodes id
+
+let is_alive t id = Hashtbl.mem t.nodes id
+
+let nodes t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort compare
+
+let send t ~src ~dst ?(label = "msg") msg =
+  if not (is_alive t src) then invalid_arg "Net.send: sender is not alive";
+  t.pending <- (src, dst, msg) :: t.pending;
+  t.messages_sent <- t.messages_sent + 1;
+  Metrics.Ledger.charge t.ledger ~label ~messages:1 ~rounds:0
+
+let multicast t ~src ~dsts ?label msg =
+  List.iter (fun dst -> send t ~src ~dst ?label msg) dsts
+
+let round t = t.round
+
+let run_round t =
+  (* Deliver round-(r) sends into inboxes. *)
+  List.iter
+    (fun (src, dst, msg) ->
+      match Hashtbl.find_opt t.nodes dst with
+      | Some node -> node.inbox_rev <- (src, msg) :: node.inbox_rev
+      | None -> () (* destination departed: message lost *))
+    (List.rev t.pending);
+  t.pending <- [];
+  t.round <- t.round + 1;
+  Metrics.Ledger.charge t.ledger ~label:"round" ~messages:0 ~rounds:1;
+  (* Execute handlers in id order; a stable sort on the (already
+     send-ordered) inbox groups messages by sender. *)
+  let ids = nodes t in
+  List.iter
+    (fun id ->
+      match Hashtbl.find_opt t.nodes id with
+      | None -> () (* removed by an earlier handler this round *)
+      | Some node ->
+        let inbox =
+          List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev node.inbox_rev)
+        in
+        node.inbox_rev <- [];
+        node.handler ~round:t.round ~inbox)
+    ids
+
+let run_rounds t n =
+  for _ = 1 to n do
+    run_round t
+  done
+
+let run_until t ?(max_rounds = 10_000) pred =
+  let rec go executed =
+    if pred () then executed
+    else if executed >= max_rounds then
+      failwith "Net.run_until: predicate not satisfied within max_rounds"
+    else begin
+      run_round t;
+      go (executed + 1)
+    end
+  in
+  go 0
+
+let messages_sent t = t.messages_sent

@@ -1,0 +1,73 @@
+(** Synchronous message-passing network simulator.
+
+    Implements the system model of Section 2: a synchronous reconfigurable
+    network with private authenticated channels.  Time advances in
+    communication rounds; a message sent during round [r] is delivered at
+    the beginning of round [r+1] together with its true sender identity
+    (identities cannot be forged — the kernel stamps them).  A time step of
+    the paper consists of several such rounds.
+
+    Nodes are callbacks: on every round each live node receives the batch
+    of messages addressed to it.  Byzantine behaviour is expressed by
+    registering a misbehaving callback; the kernel gives Byzantine nodes no
+    extra power beyond sending arbitrary messages to arbitrary known nodes
+    under their own identity.
+
+    The kernel counts every message into a {!Metrics.Ledger.t}, which is
+    how the message-level cost experiments (E5, E6) measure communication
+    complexity. *)
+
+type 'msg t
+
+type 'msg handler = round:int -> inbox:(int * 'msg) list -> unit
+(** Called once per round for each live node.  [inbox] holds
+    [(sender, message)] pairs from the previous round, sorted by sender id
+    (then send order) for determinism. *)
+
+val create : ?ledger:Metrics.Ledger.t -> unit -> 'msg t
+(** A fresh network at round 0.  If [ledger] is omitted a private one is
+    created (accessible via {!ledger}). *)
+
+val ledger : 'msg t -> Metrics.Ledger.t
+
+val add_node : 'msg t -> id:int -> 'msg handler -> unit
+(** Register a node.  Raises [Invalid_argument] if the id is in use. *)
+
+val replace_handler : 'msg t -> id:int -> 'msg handler -> unit
+(** Swap a node's behaviour (e.g. between protocol phases). *)
+
+val remove_node : 'msg t -> int -> unit
+(** The node leaves/crashes: it stops receiving and executing.  Queued
+    messages to it are dropped.  No-op if absent. *)
+
+val is_alive : 'msg t -> int -> bool
+(** The failure-detection mechanism the paper assumes: any node may test
+    whether a (known) node has left or crashed. *)
+
+val nodes : 'msg t -> int list
+(** Live node ids, sorted. *)
+
+val send : 'msg t -> src:int -> dst:int -> ?label:string -> 'msg -> unit
+(** Queue a message for delivery next round.  The ledger is charged one
+    message under [label] (default ["msg"]).  Raises [Invalid_argument] if
+    [src] is not alive (departed nodes cannot speak). *)
+
+val multicast : 'msg t -> src:int -> dsts:int list -> ?label:string -> 'msg -> unit
+(** One {!send} per destination. *)
+
+val round : 'msg t -> int
+
+val run_round : 'msg t -> unit
+(** Deliver all queued messages and execute every live node's handler once.
+    Handlers run in increasing id order; sends they perform are delivered
+    next round.  Charges one round to the ledger (label ["round"]). *)
+
+val run_rounds : 'msg t -> int -> unit
+
+val run_until : 'msg t -> ?max_rounds:int -> (unit -> bool) -> int
+(** [run_until t pred] runs rounds until [pred ()] holds (checked between
+    rounds) or [max_rounds] (default 10_000) elapse; returns the number of
+    rounds executed.  Raises [Failure] on timeout. *)
+
+val messages_sent : 'msg t -> int
+(** Total messages ever sent through this network. *)

@@ -1,0 +1,125 @@
+(* Tests for the adversary driver: budget discipline, strategies, size
+   bounds. *)
+
+module Engine = Now_core.Engine
+module Node = Now_core.Node
+module Params = Now_core.Params
+module Rng = Prng.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let make_engine ?(n0 = 300) ?(tau = 0.15) ?(seed = 3L) () =
+  let params =
+    Params.make ~n_max:(1 lsl 10) ~k:3 ~tau ~walk_mode:Params.Direct_sample ()
+  in
+  let rng = Rng.create seed in
+  let initial =
+    List.init n0 (fun _ ->
+        if Rng.bernoulli rng tau then Node.Byzantine else Node.Honest)
+  in
+  Engine.create ~seed params ~initial
+
+let test_budget_respected () =
+  let tau = 0.2 in
+  let e = make_engine ~tau () in
+  let d = Adversary.create ~tau ~strategy:(Adversary.Random_churn 0.5) e in
+  for _ = 1 to 400 do
+    Adversary.step d
+  done;
+  (* The greedy corruption rule keeps the global fraction at most tau plus
+     one node's worth of slack. *)
+  checkb "budget respected" true
+    (Adversary.byz_fraction d <= tau +. (2.0 /. float_of_int (Engine.n_nodes e)))
+
+let test_step_counting () =
+  let e = make_engine () in
+  let d = Adversary.create ~tau:0.15 ~strategy:(Adversary.Random_churn 0.5) e in
+  for _ = 1 to 50 do
+    Adversary.step d
+  done;
+  checki "steps" 50 (Adversary.steps_done d);
+  checki "joins + leaves = steps" 50 (Adversary.joins d + Adversary.leaves d)
+
+let test_run_sampling () =
+  let e = make_engine () in
+  let d = Adversary.create ~tau:0.15 ~strategy:(Adversary.Random_churn 0.5) e in
+  let samples = ref 0 in
+  Adversary.run ~steps_per_sample:10 d ~steps:35 ~on_sample:(fun _ -> incr samples);
+  (* 3 periodic samples + 1 final *)
+  checki "samples" 4 !samples;
+  checki "steps" 35 (Adversary.steps_done d)
+
+let test_grow_shrink_bounds () =
+  let e = make_engine ~n0:300 () in
+  let d = Adversary.create ~tau:0.15 ~strategy:(Adversary.Grow_shrink 200) e in
+  let min_seen = ref max_int and max_seen = ref 0 in
+  for _ = 1 to 800 do
+    Adversary.step d;
+    let n = Engine.n_nodes e in
+    if n < !min_seen then min_seen := n;
+    if n > !max_seen then max_seen := n
+  done;
+  let params = Engine.params e in
+  checkb "never below sqrt N" true (!min_seen >= Params.min_network_size params);
+  checkb "never above N" true (!max_seen <= params.Params.n_max);
+  checkb "actually grew" true (!max_seen >= 450);
+  checkb "actually shrank back" true (!min_seen <= 310)
+
+let test_target_cluster_strategy () =
+  let e = make_engine () in
+  let d = Adversary.create ~tau:0.15 ~strategy:Adversary.Target_cluster e in
+  for _ = 1 to 100 do
+    Adversary.step d
+  done;
+  (* A target exists and its fraction is a valid probability. *)
+  let f = Adversary.target_byz_fraction d in
+  checkb "target fraction valid" true (f >= 0.0 && f < 1.0);
+  checkb "population stable under join-leave churn" true
+    (abs (Engine.n_nodes e - 300) <= 2)
+
+let test_dos_strategy_kills_honest () =
+  let e = make_engine () in
+  let honest_before =
+    Node.Roster.count (Engine.roster e) - Node.Roster.byzantine_count (Engine.roster e)
+  in
+  let d = Adversary.create ~tau:0.15 ~strategy:Adversary.Dos_honest e in
+  for _ = 1 to 100 do
+    Adversary.step d
+  done;
+  ignore honest_before;
+  checkb "leaves executed" true (Adversary.leaves d > 20);
+  checkb "joins compensate" true (Adversary.joins d > 20)
+
+let test_min_honest_monotone () =
+  let e = make_engine () in
+  let d = Adversary.create ~tau:0.15 ~strategy:(Adversary.Random_churn 0.5) e in
+  let prev = ref (Adversary.min_honest_fraction_seen d) in
+  for _ = 1 to 60 do
+    Adversary.step d;
+    let f = Adversary.min_honest_fraction_seen d in
+    checkb "floor never rises" true (f <= !prev +. 1e-9);
+    prev := f
+  done
+
+let test_strategy_names () =
+  Alcotest.check Alcotest.string "churn" "random-churn(0.50)"
+    (Adversary.strategy_name (Adversary.Random_churn 0.5));
+  Alcotest.check Alcotest.string "target" "target-cluster"
+    (Adversary.strategy_name Adversary.Target_cluster);
+  Alcotest.check Alcotest.string "dos" "dos-honest"
+    (Adversary.strategy_name Adversary.Dos_honest);
+  Alcotest.check Alcotest.string "grow" "grow-shrink(7)"
+    (Adversary.strategy_name (Adversary.Grow_shrink 7))
+
+let suite =
+  [
+    Alcotest.test_case "budget respected" `Quick test_budget_respected;
+    Alcotest.test_case "step counting" `Quick test_step_counting;
+    Alcotest.test_case "run sampling" `Quick test_run_sampling;
+    Alcotest.test_case "grow-shrink bounds" `Quick test_grow_shrink_bounds;
+    Alcotest.test_case "target strategy" `Quick test_target_cluster_strategy;
+    Alcotest.test_case "dos strategy" `Quick test_dos_strategy_kills_honest;
+    Alcotest.test_case "honest floor monotone" `Quick test_min_honest_monotone;
+    Alcotest.test_case "strategy names" `Quick test_strategy_names;
+  ]

@@ -1,0 +1,183 @@
+(* Tests for the message-level Join/Leave compositions (Cluster.Ops). *)
+
+module Config = Cluster.Config
+module Ops = Cluster.Ops
+module B = Agreement.Byz_behavior
+module Rng = Prng.Rng
+module Ledger = Metrics.Ledger
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let build ?(seed = 1) ?(n_clusters = 5) ?(cluster_size = 8) ?(byz = 1) () =
+  Config.build_uniform ~rng:(Rng.of_int seed) ~n_clusters ~cluster_size
+    ~byz_per_cluster:byz ~overlay_degree:3 ()
+
+let test_join_inserts () =
+  let cfg = build () in
+  let before = Config.n_nodes cfg in
+  match Ops.join cfg ~node:999 ~contact:0 () with
+  | Error _ -> Alcotest.fail "join failed"
+  | Ok host ->
+    checki "population +1" (before + 1) (Config.n_nodes cfg);
+    (* The hosting cluster's exchange may have moved the joiner onwards;
+       it must be homed somewhere. *)
+    checkb "node homed somewhere" true
+      (List.mem (Config.cluster_of cfg 999) (Config.cluster_ids cfg));
+    checkb "host is a real cluster" true (List.mem host (Config.cluster_ids cfg));
+    checkb "joiner honest by default" false (Config.is_byzantine cfg 999)
+
+let test_join_byzantine () =
+  let cfg = build () in
+  (match Ops.join cfg ~byzantine:(B.Fixed 1) ~node:999 ~contact:0 () with
+  | Error _ -> Alcotest.fail "join failed"
+  | Ok _ -> ());
+  checkb "joiner corrupted" true (Config.is_byzantine cfg 999)
+
+let test_join_duplicate_rejected () =
+  let cfg = build () in
+  Alcotest.check_raises "existing id"
+    (Invalid_argument "Config.register_node: node already present") (fun () ->
+      ignore (Ops.join cfg ~node:0 ~contact:0 ()))
+
+let test_join_charges_costs () =
+  let cfg = build () in
+  let ledger = Config.ledger cfg in
+  let before = Ledger.snapshot ledger in
+  (match Ops.join cfg ~node:999 ~contact:0 () with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "join failed");
+  let d = Ledger.since ledger before in
+  checkb "messages charged" true (d.Ledger.messages > 0);
+  checkb "insert label used" true (Ledger.label_messages ledger "join.insert" > 0)
+
+let test_join_triggers_exchange () =
+  let cfg = build ~byz:0 () in
+  (* After the join, the hosting cluster's membership has been shuffled:
+     its pre-join members are mostly gone. *)
+  match Ops.join cfg ~node:999 ~contact:0 () with
+  | Error _ -> Alcotest.fail "join failed"
+  | Ok host ->
+    let after = Config.members cfg host in
+    checkb "joiner may itself have been exchanged onwards" true
+      (List.length after >= 8);
+    checkb "exchange charged" true
+      (Ledger.label_messages (Config.ledger cfg) "exchange.view_update" > 0)
+
+let test_leave_removes () =
+  let cfg = build () in
+  let before = Config.n_nodes cfg in
+  (match Ops.leave cfg ~node:9 () with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "leave failed");
+  checki "population -1" (before - 1) (Config.n_nodes cfg);
+  checkb "homeless" true
+    (match Config.cluster_of cfg 9 with
+    | exception Not_found -> true
+    | _ -> false)
+
+let test_leave_cascades () =
+  let cfg = build ~byz:0 () in
+  match Ops.leave cfg ~node:9 () with
+  | Error _ -> Alcotest.fail "leave failed"
+  | Ok touched ->
+    checkb "cascade hit other clusters" true (List.length touched > 0);
+    List.iter
+      (fun c -> checkb "cascaded cluster exists" true (List.mem c (Config.cluster_ids cfg)))
+      touched;
+    checkb "notify charged" true
+      (Ledger.label_messages (Config.ledger cfg) "leave.notify" > 0)
+
+let test_join_leave_roundtrip_conserves () =
+  let cfg = build ~byz:0 () in
+  let before = Config.n_nodes cfg in
+  (match Ops.join cfg ~node:500 ~contact:1 () with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "join failed");
+  (* The joiner may itself have been exchanged onwards; leave finds it
+     wherever it lives now. *)
+  (match Ops.leave cfg ~node:500 () with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "leave failed");
+  checki "population conserved" before (Config.n_nodes cfg);
+  (* Exchanges are size-preserving swaps, so each cluster is within one
+     node of its original size. *)
+  List.iter
+    (fun cid -> checkb "size within +-1" true (abs (Config.size cfg cid - 8) <= 1))
+    (Config.cluster_ids cfg)
+
+let test_leave_cost_exceeds_join () =
+  (* The cascade makes leave strictly heavier than join at equal scale. *)
+  let cfg = build ~byz:0 () in
+  let ledger = Config.ledger cfg in
+  let s0 = Ledger.snapshot ledger in
+  (match Ops.join cfg ~node:777 ~contact:0 () with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "join failed");
+  let join_cost = (Ledger.since ledger s0).Ledger.messages in
+  let s1 = Ledger.snapshot ledger in
+  (match Ops.leave cfg ~node:777 () with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "leave failed");
+  let leave_cost = (Ledger.since ledger s1).Ledger.messages in
+  checkb "leave > join" true (leave_cost > join_cost)
+
+let test_split () =
+  let cfg = build ~n_clusters:4 ~cluster_size:12 ~byz:1 () in
+  match Ops.split cfg ~cluster:0 ~fresh_cid:99 ~overlay_edges:3 with
+  | Error _ -> Alcotest.fail "split failed"
+  | Ok fresh ->
+    checki "fresh id" 99 fresh;
+    checkb "fresh cluster exists" true (List.mem 99 (Config.cluster_ids cfg));
+    checki "halves" 6 (Config.size cfg 99);
+    checki "old keeps the rest" 6 (Config.size cfg 0);
+    checkb "fresh is wired" true
+      (Dsgraph.Graph.degree (Config.overlay cfg) 99 >= 1);
+    checki "population conserved" 48 (Config.n_nodes cfg)
+
+let test_split_duplicate_cid () =
+  let cfg = build () in
+  Alcotest.check_raises "cid in use" (Invalid_argument "Config.add_cluster: id in use")
+    (fun () -> ignore (Ops.split cfg ~cluster:0 ~fresh_cid:1 ~overlay_edges:2))
+
+let test_merge () =
+  let cfg = build ~n_clusters:4 ~cluster_size:8 ~byz:1 () in
+  match Ops.merge cfg ~cluster:0 with
+  | Error _ -> Alcotest.fail "merge failed"
+  | Ok victim ->
+    checkb "victim was another cluster" true (victim <> 0);
+    checkb "victim gone" true (not (List.mem victim (Config.cluster_ids cfg)));
+    checkb "victim's overlay vertex gone" true
+      (not (Dsgraph.Graph.has_vertex (Config.overlay cfg) victim));
+    checki "population conserved" 32 (Config.n_nodes cfg);
+    checki "three clusters left" 3 (List.length (Config.cluster_ids cfg))
+
+let test_split_then_merge_roundtrip () =
+  let cfg = build ~n_clusters:3 ~cluster_size:10 ~byz:0 () in
+  (match Ops.split cfg ~cluster:1 ~fresh_cid:50 ~overlay_edges:2 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "split failed");
+  checki "four clusters" 4 (List.length (Config.cluster_ids cfg));
+  (match Ops.merge cfg ~cluster:50 with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "merge failed");
+  checki "three clusters again" 3 (List.length (Config.cluster_ids cfg));
+  checki "population conserved" 30 (Config.n_nodes cfg)
+
+let suite =
+  [
+    Alcotest.test_case "join inserts" `Quick test_join_inserts;
+    Alcotest.test_case "split" `Quick test_split;
+    Alcotest.test_case "split duplicate cid" `Quick test_split_duplicate_cid;
+    Alcotest.test_case "merge" `Quick test_merge;
+    Alcotest.test_case "split then merge" `Quick test_split_then_merge_roundtrip;
+    Alcotest.test_case "join byzantine" `Quick test_join_byzantine;
+    Alcotest.test_case "join duplicate rejected" `Quick test_join_duplicate_rejected;
+    Alcotest.test_case "join charges costs" `Quick test_join_charges_costs;
+    Alcotest.test_case "join triggers exchange" `Quick test_join_triggers_exchange;
+    Alcotest.test_case "leave removes" `Quick test_leave_removes;
+    Alcotest.test_case "leave cascades" `Quick test_leave_cascades;
+    Alcotest.test_case "join/leave conserves sizes" `Quick
+      test_join_leave_roundtrip_conserves;
+    Alcotest.test_case "leave heavier than join" `Quick test_leave_cost_exceeds_join;
+  ]

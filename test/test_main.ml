@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "nowlib"
+    [
+      ("prng", Test_prng.suite);
+      ("metrics", Test_metrics.suite);
+      ("graph", Test_graph.suite);
+      ("simkernel", Test_simkernel.suite);
+      ("agreement", Test_agreement.suite);
+      ("protocols", Test_protocols.suite);
+      ("randwalk", Test_randwalk.suite);
+      ("over", Test_over.suite);
+      ("cluster", Test_cluster.suite);
+      ("cluster-ops", Test_cluster_ops.suite);
+      ("core", Test_core.suite);
+      ("adversary", Test_adversary.suite);
+      ("apps", Test_apps.suite);
+      ("snapshot-batch-workload", Test_snapshot.suite);
+      ("properties", Test_properties.suite);
+      ("harness", Test_harness.suite);
+    ]

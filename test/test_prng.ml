@@ -1,0 +1,307 @@
+(* Unit and property tests for the deterministic PRNG substrate. *)
+
+module Rng = Prng.Rng
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let test_determinism () =
+  let a = Rng.create 42L and b = Rng.create 42L in
+  for _ = 1 to 100 do
+    check Alcotest.int64 "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_distinct_seeds () =
+  let a = Rng.create 1L and b = Rng.create 2L in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 a = Rng.bits64 b then incr same
+  done;
+  checki "different seeds diverge" 0 !same
+
+let test_copy_independent () =
+  let a = Rng.of_int 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  check Alcotest.int64 "copies replay" (Rng.bits64 a) (Rng.bits64 b);
+  ignore (Rng.bits64 a);
+  (* b is now one step behind; advancing it must reproduce a's last value *)
+  ignore (Rng.bits64 b)
+
+let test_split_independence () =
+  let parent = Rng.create 99L in
+  let child = Rng.split parent in
+  let matches = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.bits64 parent = Rng.bits64 child then incr matches
+  done;
+  checki "split streams differ" 0 !matches
+
+let test_int_bounds () =
+  let rng = Rng.of_int 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    checkb "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let test_int_one () =
+  let rng = Rng.of_int 4 in
+  for _ = 1 to 50 do
+    checki "bound 1 gives 0" 0 (Rng.int rng 1)
+  done
+
+let test_int_invalid () =
+  let rng = Rng.of_int 5 in
+  Alcotest.check_raises "non-positive bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_in () =
+  let rng = Rng.of_int 6 in
+  for _ = 1 to 1000 do
+    let v = Rng.int_in rng (-5) 5 in
+    checkb "in [-5,5]" true (v >= -5 && v <= 5)
+  done;
+  checki "singleton range" 9 (Rng.int_in rng 9 9)
+
+let test_int_uniformity () =
+  let rng = Rng.of_int 8 in
+  let counts = Array.make 8 0 in
+  let trials = 80_000 in
+  for _ = 1 to trials do
+    let v = Rng.int rng 8 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      let expected = trials / 8 in
+      checkb (Printf.sprintf "bin %d near uniform" i) true
+        (abs (c - expected) < expected / 10))
+    counts
+
+let test_float_bounds () =
+  let rng = Rng.of_int 9 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    checkb "in [0, 2.5)" true (v >= 0.0 && v < 2.5)
+  done
+
+let test_bernoulli_extremes () =
+  let rng = Rng.of_int 10 in
+  for _ = 1 to 100 do
+    checkb "p=0 never" false (Rng.bernoulli rng 0.0);
+    checkb "p=1 always" true (Rng.bernoulli rng 1.0)
+  done
+
+let test_bernoulli_mean () =
+  let rng = Rng.of_int 11 in
+  let hits = ref 0 in
+  let trials = 50_000 in
+  for _ = 1 to trials do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let mean = float_of_int !hits /. float_of_int trials in
+  checkb "mean near 0.3" true (abs_float (mean -. 0.3) < 0.01)
+
+let test_exponential_mean () =
+  let rng = Rng.of_int 12 in
+  let s = Metrics.Stats.create () in
+  for _ = 1 to 50_000 do
+    Metrics.Stats.add s (Rng.exponential rng 4.0)
+  done;
+  checkb "mean near 1/4" true (abs_float (Metrics.Stats.mean s -. 0.25) < 0.01)
+
+let test_exponential_positive () =
+  let rng = Rng.of_int 13 in
+  for _ = 1 to 1000 do
+    checkb "positive" true (Rng.exponential rng 0.5 > 0.0)
+  done
+
+let test_geometric_mean () =
+  let rng = Rng.of_int 14 in
+  let s = Metrics.Stats.create () in
+  for _ = 1 to 50_000 do
+    Metrics.Stats.add_int s (Rng.geometric rng 0.25)
+  done;
+  (* mean of failures-before-success = (1-p)/p = 3 *)
+  checkb "mean near 3" true (abs_float (Metrics.Stats.mean s -. 3.0) < 0.15)
+
+let test_geometric_p1 () =
+  let rng = Rng.of_int 15 in
+  for _ = 1 to 100 do
+    checki "p=1 is 0" 0 (Rng.geometric rng 1.0)
+  done
+
+let test_binomial_mean_var () =
+  let rng = Rng.of_int 16 in
+  let s = Metrics.Stats.create () in
+  let n = 100 and p = 0.3 in
+  for _ = 1 to 30_000 do
+    Metrics.Stats.add_int s (Rng.binomial rng n p)
+  done;
+  checkb "mean near np" true (abs_float (Metrics.Stats.mean s -. 30.0) < 0.3);
+  checkb "var near np(1-p)" true (abs_float (Metrics.Stats.variance s -. 21.0) < 1.5)
+
+let test_binomial_edges () =
+  let rng = Rng.of_int 17 in
+  checki "p=0" 0 (Rng.binomial rng 50 0.0);
+  checki "p=1" 50 (Rng.binomial rng 50 1.0);
+  checki "n=0" 0 (Rng.binomial rng 0 0.5)
+
+let test_binomial_high_p () =
+  let rng = Rng.of_int 18 in
+  let s = Metrics.Stats.create () in
+  for _ = 1 to 20_000 do
+    Metrics.Stats.add_int s (Rng.binomial rng 40 0.9)
+  done;
+  checkb "mean near 36" true (abs_float (Metrics.Stats.mean s -. 36.0) < 0.2)
+
+let test_poisson_mean () =
+  let rng = Rng.of_int 19 in
+  let s = Metrics.Stats.create () in
+  for _ = 1 to 30_000 do
+    Metrics.Stats.add_int s (Rng.poisson rng 6.5)
+  done;
+  checkb "mean near 6.5" true (abs_float (Metrics.Stats.mean s -. 6.5) < 0.15)
+
+let test_poisson_zero () =
+  let rng = Rng.of_int 20 in
+  for _ = 1 to 100 do
+    checki "lambda 0" 0 (Rng.poisson rng 0.0)
+  done
+
+let test_poisson_large () =
+  let rng = Rng.of_int 21 in
+  let s = Metrics.Stats.create () in
+  for _ = 1 to 2_000 do
+    Metrics.Stats.add_int s (Rng.poisson rng 1200.0)
+  done;
+  checkb "splitting path: mean near 1200" true
+    (abs_float (Metrics.Stats.mean s -. 1200.0) < 5.0)
+
+let test_shuffle_permutation () =
+  let rng = Rng.of_int 22 in
+  let original = Array.init 50 (fun i -> i) in
+  let shuffled = Rng.shuffle rng original in
+  let sorted = Array.copy shuffled in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "same multiset" original sorted;
+  check (Alcotest.array Alcotest.int) "original untouched" (Array.init 50 (fun i -> i)) original
+
+let test_shuffle_moves_elements () =
+  let rng = Rng.of_int 23 in
+  let a = Array.init 100 (fun i -> i) in
+  let s = Rng.shuffle rng a in
+  let fixed = ref 0 in
+  Array.iteri (fun i v -> if i = v then incr fixed) s;
+  checkb "not identity" true (!fixed < 20)
+
+let test_sample_distinct () =
+  let rng = Rng.of_int 24 in
+  for _ = 1 to 200 do
+    let l = Rng.sample_distinct rng 10 30 in
+    checki "length" 10 (List.length l);
+    checki "distinct" 10 (List.length (List.sort_uniq compare l));
+    List.iter (fun v -> checkb "in range" true (v >= 0 && v < 30)) l
+  done
+
+let test_sample_distinct_full () =
+  let rng = Rng.of_int 25 in
+  let l = Rng.sample_distinct rng 5 5 in
+  check (Alcotest.list Alcotest.int) "all elements" [ 0; 1; 2; 3; 4 ]
+    (List.sort compare l)
+
+let test_sample_distinct_invalid () =
+  let rng = Rng.of_int 26 in
+  Alcotest.check_raises "m > bound"
+    (Invalid_argument "Rng.sample_distinct: m > bound") (fun () ->
+      ignore (Rng.sample_distinct rng 6 5))
+
+let test_save_restore () =
+  let a = Rng.create 77L in
+  ignore (Rng.bits64 a);
+  ignore (Rng.bits64 a);
+  let state = Rng.save a in
+  let b = Rng.restore state in
+  for _ = 1 to 50 do
+    Alcotest.check Alcotest.int64 "restored stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_pick () =
+  let rng = Rng.of_int 27 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    checkb "member" true (Array.mem (Rng.pick rng arr) arr)
+  done;
+  checki "singleton list" 5 (Rng.pick_list rng [ 5 ])
+
+(* --- property tests --- *)
+
+let prop_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int always within bounds" ~count:1000
+    QCheck.(pair small_int (int_range 1 10_000))
+    (fun (seed, bound) ->
+      let rng = Rng.of_int seed in
+      let v = Rng.int rng bound in
+      v >= 0 && v < bound)
+
+let prop_shuffle_multiset =
+  QCheck.Test.make ~name:"shuffle preserves the multiset" ~count:300
+    QCheck.(pair small_int (list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.of_int seed in
+      let a = Array.of_list l in
+      let s = Rng.shuffle rng a in
+      List.sort compare (Array.to_list s) = List.sort compare l)
+
+let prop_binomial_range =
+  QCheck.Test.make ~name:"binomial in [0, n]" ~count:500
+    QCheck.(triple small_int (int_range 0 200) (float_range 0.0 1.0))
+    (fun (seed, n, p) ->
+      let rng = Rng.of_int seed in
+      let v = Rng.binomial rng n p in
+      v >= 0 && v <= n)
+
+let prop_geometric_nonneg =
+  QCheck.Test.make ~name:"geometric non-negative" ~count:500
+    QCheck.(pair small_int (float_range 0.01 1.0))
+    (fun (seed, p) ->
+      let rng = Rng.of_int seed in
+      Rng.geometric rng p >= 0)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "distinct seeds" `Quick test_distinct_seeds;
+    Alcotest.test_case "copy replays" `Quick test_copy_independent;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int bound 1" `Quick test_int_one;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "int_in range" `Quick test_int_in;
+    Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "bernoulli mean" `Quick test_bernoulli_mean;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "exponential positive" `Quick test_exponential_positive;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "geometric p=1" `Quick test_geometric_p1;
+    Alcotest.test_case "binomial mean/var" `Quick test_binomial_mean_var;
+    Alcotest.test_case "binomial edges" `Quick test_binomial_edges;
+    Alcotest.test_case "binomial high p" `Quick test_binomial_high_p;
+    Alcotest.test_case "poisson mean" `Quick test_poisson_mean;
+    Alcotest.test_case "poisson lambda 0" `Quick test_poisson_zero;
+    Alcotest.test_case "poisson large lambda" `Quick test_poisson_large;
+    Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+    Alcotest.test_case "shuffle moves elements" `Quick test_shuffle_moves_elements;
+    Alcotest.test_case "sample_distinct" `Quick test_sample_distinct;
+    Alcotest.test_case "sample_distinct full range" `Quick test_sample_distinct_full;
+    Alcotest.test_case "sample_distinct invalid" `Quick test_sample_distinct_invalid;
+    Alcotest.test_case "save/restore" `Quick test_save_restore;
+    Alcotest.test_case "pick membership" `Quick test_pick;
+    QCheck_alcotest.to_alcotest prop_int_in_bounds;
+    QCheck_alcotest.to_alcotest prop_shuffle_multiset;
+    QCheck_alcotest.to_alcotest prop_binomial_range;
+    QCheck_alcotest.to_alcotest prop_geometric_nonneg;
+  ]

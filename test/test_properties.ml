@@ -1,0 +1,168 @@
+(* Cross-cutting property-based tests (qcheck): randomized sequences and
+   adversarially-shaped inputs against the core invariants. *)
+
+module Engine = Now_core.Engine
+module Params = Now_core.Params
+module Node = Now_core.Node
+module Graph = Dsgraph.Graph
+module Rng = Prng.Rng
+
+(* ---------- OVER under random operation sequences ---------- *)
+
+let prop_over_degree_cap =
+  QCheck.Test.make ~name:"OVER: degree cap holds under any op sequence" ~count:40
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 1 60) bool))
+    (fun (seed, ops) ->
+      let rng = Rng.of_int seed in
+      let target d ~n_vertices = min (n_vertices - 1) d in
+      let over = Over.create ~rng:(Rng.split rng) ~target_degree:(target 4) in
+      Over.init_erdos_renyi over ~vertices:[ 0; 1; 2; 3; 4; 5; 6; 7 ];
+      let next = ref 100 in
+      let pick () =
+        let vs = Array.of_list (Graph.vertices (Over.graph over)) in
+        vs.(Rng.int rng (Array.length vs))
+      in
+      List.iter
+        (fun grow ->
+          if grow && Over.n_vertices over < 40 then begin
+            incr next;
+            Over.add_vertex over !next ~pick
+          end
+          else if Over.n_vertices over > 3 then
+            Over.remove_vertex over (pick ()) ~pick)
+        ops;
+      let g = Over.graph over in
+      Graph.max_degree g <= 2 * 4
+      && List.for_all (fun (u, v) -> u <> v) (Graph.edges g))
+
+(* ---------- biased walks ---------- *)
+
+let prop_biased_walk_avoids_zero_weight =
+  QCheck.Test.make ~name:"biased CTRW never selects weight-0 vertices" ~count:60
+    QCheck.(pair small_int (int_range 4 12))
+    (fun (seed, n) ->
+      let rng = Rng.of_int seed in
+      let g = Dsgraph.Gen.complete ~n in
+      (* Half the vertices carry zero weight. *)
+      let weight v = if v < n / 2 then 0.0 else 1.0 in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let v =
+          Randwalk.Ctrw.biased_select g rng ~start:0 ~duration:3.0 ~weight
+            ~max_weight:1.0 ()
+        in
+        if weight v = 0.0 then ok := false
+      done;
+      !ok)
+
+(* ---------- validated channel counting rule ---------- *)
+
+let prop_validate_majority_only =
+  QCheck.Test.make ~name:"validate accepts only strict-majority payloads" ~count:500
+    QCheck.(
+      pair (int_range 1 9)
+        (list_of_size (QCheck.Gen.int_range 0 30) (pair (int_range 0 12) (int_range 0 3))))
+    (fun (n_members, inbox) ->
+      let members = List.init n_members (fun i -> i) in
+      match Cluster.Valchan.validate ~members ~inbox with
+      | None -> true
+      | Some v ->
+        (* Count distinct member senders whose first message carried v. *)
+        let seen = Hashtbl.create 8 in
+        List.iter
+          (fun (s, p) ->
+            if List.mem s members && not (Hashtbl.mem seen s) then
+              Hashtbl.replace seen s p)
+          inbox;
+        let votes = Hashtbl.fold (fun _ p acc -> if p = v then acc + 1 else acc) seen 0 in
+        2 * votes > n_members)
+
+(* ---------- randNum mix ---------- *)
+
+let prop_mix_in_range =
+  QCheck.Test.make ~name:"randNum mix lands in [0, range)" ~count:500
+    QCheck.(pair (list small_int) (int_range 1 1000))
+    (fun (contributions, range) ->
+      let v = Cluster.Randnum.mix contributions ~range in
+      v >= 0 && v < range)
+
+(* ---------- engine under random churn scripts ---------- *)
+
+let small_engine seed =
+  let params =
+    Params.make ~n_max:(1 lsl 10) ~k:3 ~tau:0.15 ~walk_mode:Params.Direct_sample ()
+  in
+  let rng = Rng.create (Int64.of_int seed) in
+  let initial =
+    List.init 250 (fun _ -> if Rng.bernoulli rng 0.15 then Node.Byzantine else Node.Honest)
+  in
+  Engine.create ~seed:(Int64.of_int seed) params ~initial
+
+let prop_engine_invariants_under_scripts =
+  QCheck.Test.make ~name:"engine invariants under random churn scripts" ~count:15
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 1 40) bool))
+    (fun (seed, script) ->
+      let e = small_engine seed in
+      List.iter
+        (fun join ->
+          if join || Engine.n_nodes e < 100 then ignore (Engine.join e Node.Honest)
+          else ignore (Engine.leave e (Engine.random_node e)))
+        script;
+      Engine.check_invariants e;
+      true)
+
+let prop_engine_exchange_conserves =
+  QCheck.Test.make ~name:"exchange conserves population and byz count" ~count:15
+    QCheck.small_int
+    (fun seed ->
+      let e = small_engine seed in
+      let tbl = Engine.table e in
+      let byz_total () =
+        List.fold_left
+          (fun acc cid -> acc + Now_core.Cluster_table.byz_count tbl cid)
+          0
+          (Now_core.Cluster_table.cluster_ids tbl)
+      in
+      let n0 = Engine.n_nodes e and b0 = byz_total () in
+      List.iter
+        (fun cid -> ignore (Engine.exchange_cluster e cid))
+        (Now_core.Cluster_table.cluster_ids tbl);
+      Engine.n_nodes e = n0 && byz_total () = b0)
+
+let prop_engine_rand_cl_valid =
+  QCheck.Test.make ~name:"rand_cl returns live clusters" ~count:10 QCheck.small_int
+    (fun seed ->
+      let e = small_engine seed in
+      let tbl = Engine.table e in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let cid, _ = Engine.rand_cl e () in
+        if not (Now_core.Cluster_table.exists tbl cid) then ok := false
+      done;
+      !ok)
+
+let prop_snapshot_roundtrip_any_script =
+  QCheck.Test.make ~name:"snapshot roundtrip after any churn script" ~count:10
+    QCheck.(pair small_int (list_of_size (QCheck.Gen.int_range 0 25) bool))
+    (fun (seed, script) ->
+      let e = small_engine seed in
+      List.iter
+        (fun join ->
+          if join || Engine.n_nodes e < 100 then ignore (Engine.join e Node.Honest)
+          else ignore (Engine.leave e (Engine.random_node e)))
+        script;
+      let s1 = Engine.save e in
+      let s2 = Engine.save (Engine.load s1) in
+      s1 = s2)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_over_degree_cap;
+    QCheck_alcotest.to_alcotest prop_biased_walk_avoids_zero_weight;
+    QCheck_alcotest.to_alcotest prop_validate_majority_only;
+    QCheck_alcotest.to_alcotest prop_mix_in_range;
+    QCheck_alcotest.to_alcotest prop_engine_invariants_under_scripts;
+    QCheck_alcotest.to_alcotest prop_engine_exchange_conserves;
+    QCheck_alcotest.to_alcotest prop_engine_rand_cl_valid;
+    QCheck_alcotest.to_alcotest prop_snapshot_roundtrip_any_script;
+  ]

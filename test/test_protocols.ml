@@ -1,0 +1,163 @@
+(* Tests for the remaining message-level protocols: reliable broadcast and
+   network discovery. *)
+
+module RB = Agreement.Reliable_bcast
+module B = Agreement.Byz_behavior
+module Discovery = Cluster.Discovery
+module Graph = Dsgraph.Graph
+module Gen = Dsgraph.Gen
+module Rng = Prng.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let committee n = List.init n (fun i -> i)
+
+let byz_set ids strategy id = if List.mem id ids then Some strategy else None
+
+(* ---------- reliable broadcast ---------- *)
+
+let test_rb_honest_sender () =
+  let o =
+    RB.run ~committee:(committee 7) ~sender:0 ~value:42 ~byzantine:(fun _ -> None) ()
+  in
+  checkb "consistent" true o.RB.consistent;
+  List.iter
+    (fun (id, v) ->
+      Alcotest.check
+        (Alcotest.option Alcotest.int)
+        (Printf.sprintf "node %d delivers" id)
+        (Some 42) v)
+    o.RB.delivered
+
+let test_rb_honest_sender_with_byz_members () =
+  List.iter
+    (fun strategy ->
+      let o =
+        RB.run ~committee:(committee 10) ~sender:3 ~value:7
+          ~byzantine:(byz_set [ 0; 5; 9 ] strategy)
+          ()
+      in
+      checkb "consistent" true o.RB.consistent;
+      List.iter
+        (fun (_, v) -> checkb "validity" true (v = Some 7))
+        o.RB.delivered)
+    [ B.Silent; B.Fixed 9; B.Equivocate (1, 2); B.Random_noise 5 ]
+
+let test_rb_equivocating_sender_consistent () =
+  (* A Byzantine sender equivocates; honest members must never deliver two
+     different values (they may deliver nothing). *)
+  let o =
+    RB.run ~committee:(committee 10) ~sender:0 ~value:1
+      ~byzantine:(byz_set [ 0 ] (B.Equivocate (11, 22)))
+      ()
+  in
+  checkb "consistency under equivocation" true o.RB.consistent
+
+let test_rb_silent_sender () =
+  let o =
+    RB.run ~committee:(committee 7) ~sender:0 ~value:1
+      ~byzantine:(byz_set [ 0 ] B.Silent)
+      ()
+  in
+  checkb "consistent" true o.RB.consistent;
+  List.iter (fun (_, v) -> checkb "nobody delivers" true (v = None)) o.RB.delivered
+
+let test_rb_singleton () =
+  let o = RB.run ~committee:[ 5 ] ~sender:5 ~value:3 ~byzantine:(fun _ -> None) () in
+  checkb "self delivery" true (o.RB.delivered = [ (5, Some 3) ])
+
+let test_rb_equivocation_fuzz () =
+  (* Many committee sizes and byzantine subsets: consistency must never
+     break within the t < n/3 budget. *)
+  let rng = Rng.of_int 7 in
+  for _ = 1 to 20 do
+    let n = 4 + Rng.int rng 8 in
+    let t = RB.max_faulty n in
+    let byz_ids = if t = 0 then [] else Rng.sample_distinct rng t n in
+    let sender = Rng.int rng n in
+    let o =
+      RB.run ~committee:(committee n) ~sender ~value:5
+        ~byzantine:(byz_set byz_ids (B.Equivocate (1, 2)))
+        ()
+    in
+    checkb "consistency" true o.RB.consistent;
+    if not (List.mem sender byz_ids) then
+      List.iter (fun (_, v) -> checkb "validity" true (v = Some 5)) o.RB.delivered
+  done
+
+(* ---------- discovery ---------- *)
+
+let test_discovery_all_honest () =
+  let rng = Rng.of_int 11 in
+  let g = Gen.erdos_renyi_connected rng ~n:40 ~p:0.15 in
+  let r = Discovery.run g ~byzantine:(fun _ -> None) () in
+  checkb "complete" true r.Discovery.complete;
+  checkb "rounds bounded by diameter + drain" true
+    (r.Discovery.rounds <= r.Discovery.honest_diameter_bound + 3);
+  (* O(n * e): every id crosses every edge at most twice. *)
+  checkb "message bound" true
+    (r.Discovery.messages <= 2 * 40 * 2 * Graph.n_edges g)
+
+let test_discovery_with_silent_byz () =
+  (* A line of honest nodes with silent Byzantine leaves hanging off it:
+     discovery must still complete (honest component connected). *)
+  let g = Graph.create () in
+  for v = 0 to 9 do
+    if v > 0 then ignore (Graph.add_edge g (v - 1) v)
+  done;
+  ignore (Graph.add_edge g 3 100);
+  ignore (Graph.add_edge g 7 101);
+  let byz = byz_set [ 100; 101 ] B.Silent in
+  let r = Discovery.run g ~byzantine:byz () in
+  checkb "complete despite silent byz" true r.Discovery.complete
+
+let test_discovery_disconnected_honest_rejected () =
+  (* Two honest nodes joined only through a Byzantine cut vertex...
+     actually edges adjacent to an honest endpoint are usable, so to break
+     the precondition the honest nodes must be in different components of
+     the honest-adjacent graph: two honest islands bridged by a byz-byz
+     edge. *)
+  let g = Graph.create () in
+  ignore (Graph.add_edge g 0 100);
+  ignore (Graph.add_edge g 100 101);
+  ignore (Graph.add_edge g 101 1);
+  let byz = byz_set [ 100; 101 ] B.Silent in
+  Alcotest.check_raises "precondition enforced"
+    (Failure "Discovery.run: honest nodes are not a connected component") (fun () ->
+      ignore (Discovery.run g ~byzantine:byz ()))
+
+let test_discovery_ring_rounds () =
+  let g = Gen.ring ~n:16 in
+  let r = Discovery.run g ~byzantine:(fun _ -> None) () in
+  checkb "complete" true r.Discovery.complete;
+  checki "diameter bound" 8 r.Discovery.honest_diameter_bound;
+  checkb "rounds track the diameter" true
+    (r.Discovery.rounds >= 8 && r.Discovery.rounds <= 11)
+
+let test_discovery_counts_messages () =
+  let g = Gen.complete ~n:6 in
+  let ledger = Metrics.Ledger.create () in
+  let r = Discovery.run g ~byzantine:(fun _ -> None) ~ledger () in
+  checkb "ledger used" true
+    (Metrics.Ledger.label_messages ledger "discovery" = r.Discovery.messages);
+  (* Complete graph: everyone knows everyone after the bootstrap, but the
+     flood still confirms each id once per edge direction. *)
+  checkb "messages positive" true (r.Discovery.messages > 0)
+
+let suite =
+  [
+    Alcotest.test_case "RB honest sender" `Quick test_rb_honest_sender;
+    Alcotest.test_case "RB byz members" `Quick test_rb_honest_sender_with_byz_members;
+    Alcotest.test_case "RB equivocating sender" `Quick
+      test_rb_equivocating_sender_consistent;
+    Alcotest.test_case "RB silent sender" `Quick test_rb_silent_sender;
+    Alcotest.test_case "RB singleton" `Quick test_rb_singleton;
+    Alcotest.test_case "RB equivocation fuzz" `Quick test_rb_equivocation_fuzz;
+    Alcotest.test_case "discovery all honest" `Quick test_discovery_all_honest;
+    Alcotest.test_case "discovery silent byz" `Quick test_discovery_with_silent_byz;
+    Alcotest.test_case "discovery precondition" `Quick
+      test_discovery_disconnected_honest_rejected;
+    Alcotest.test_case "discovery ring rounds" `Quick test_discovery_ring_rounds;
+    Alcotest.test_case "discovery message ledger" `Quick test_discovery_counts_messages;
+  ]

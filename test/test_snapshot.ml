@@ -1,0 +1,265 @@
+(* Tests for engine snapshots, batch operations, workloads and the
+   cluster-level agreement application. *)
+
+module Engine = Now_core.Engine
+module Params = Now_core.Params
+module Node = Now_core.Node
+module Rng = Prng.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let make_engine ?(seed = 5L) ?(n0 = 300) () =
+  let params =
+    Params.make ~n_max:(1 lsl 10) ~k:3 ~tau:0.15 ~walk_mode:Params.Direct_sample ()
+  in
+  let rng = Rng.create seed in
+  let initial =
+    List.init n0 (fun _ -> if Rng.bernoulli rng 0.15 then Node.Byzantine else Node.Honest)
+  in
+  Engine.create ~seed params ~initial
+
+(* ---------- snapshots ---------- *)
+
+let churn engine rng steps =
+  let trace = Buffer.create 128 in
+  for _ = 1 to steps do
+    if Rng.bool rng then begin
+      let node, r = Engine.join engine Node.Honest in
+      Buffer.add_string trace (Printf.sprintf "j%d:%d;" node r.Engine.messages)
+    end
+    else begin
+      let v = Engine.random_node engine in
+      let r = Engine.leave engine v in
+      Buffer.add_string trace (Printf.sprintf "l%d:%d;" v r.Engine.messages)
+    end
+  done;
+  Buffer.contents trace
+
+let test_snapshot_roundtrip_state () =
+  let e = make_engine () in
+  ignore (churn e (Rng.of_int 3) 40);
+  let snap = Engine.save e in
+  let e' = Engine.load snap in
+  Engine.check_invariants e';
+  checki "nodes" (Engine.n_nodes e) (Engine.n_nodes e');
+  checki "clusters" (Engine.n_clusters e) (Engine.n_clusters e');
+  checki "time" (Engine.time_step e) (Engine.time_step e');
+  checki "violations" (Engine.violations_now e) (Engine.violations_now e');
+  checki "violation events" (Engine.violation_events e) (Engine.violation_events e');
+  Alcotest.check (Alcotest.list Alcotest.int) "sizes"
+    (Engine.cluster_sizes e) (Engine.cluster_sizes e');
+  checki "ledger messages"
+    (Metrics.Ledger.total_messages (Engine.ledger e))
+    (Metrics.Ledger.total_messages (Engine.ledger e'));
+  checki "overlay edges"
+    (Dsgraph.Graph.n_edges (Over.graph (Engine.overlay e)))
+    (Dsgraph.Graph.n_edges (Over.graph (Engine.overlay e')))
+
+let test_snapshot_resumes_identically () =
+  (* The continuation after load must equal the continuation of the
+     original — snapshots capture the full dynamics, generators included. *)
+  let e = make_engine () in
+  ignore (churn e (Rng.of_int 4) 30);
+  let snap = Engine.save e in
+  let continuation_a = churn e (Rng.of_int 9) 30 in
+  let e' = Engine.load snap in
+  let continuation_b = churn e' (Rng.of_int 9) 30 in
+  Alcotest.check Alcotest.string "identical continuations" continuation_a continuation_b
+
+let test_snapshot_double_roundtrip () =
+  let e = make_engine () in
+  ignore (churn e (Rng.of_int 5) 20);
+  let s1 = Engine.save e in
+  let s2 = Engine.save (Engine.load s1) in
+  Alcotest.check Alcotest.string "save . load = id on snapshots" s1 s2
+
+let test_snapshot_rejects_garbage () =
+  Alcotest.check_raises "garbage rejected"
+    (Failure "Engine.load: bad header (expected NOW-SNAPSHOT v1)") (fun () ->
+      ignore (Engine.load "this is not a snapshot\n"))
+
+let test_totals_counters () =
+  let e = make_engine () in
+  let t0 = Engine.totals e in
+  checki "fresh joins" 0 t0.Engine.total_joins;
+  ignore (Engine.join e Node.Honest);
+  ignore (Engine.join e Node.Honest);
+  ignore (Engine.leave e (Engine.random_node e));
+  let t1 = Engine.totals e in
+  checki "joins" 2 t1.Engine.total_joins;
+  checki "leaves" 1 t1.Engine.total_leaves;
+  checkb "walks counted" true (t1.Engine.total_walks > 0);
+  (* Counters survive the snapshot. *)
+  let e' = Engine.load (Engine.save e) in
+  let t2 = Engine.totals e' in
+  checki "joins restored" t1.Engine.total_joins t2.Engine.total_joins;
+  checki "walks restored" t1.Engine.total_walks t2.Engine.total_walks
+
+(* ---------- batch ---------- *)
+
+let test_batch_mixed () =
+  let e = make_engine () in
+  let before = Engine.n_nodes e in
+  let victims = [ Engine.random_node e ] in
+  let joined, report =
+    Engine.batch e
+      ([ Engine.Batch_join Node.Honest; Engine.Batch_join Node.Byzantine ]
+      @ List.map (fun v -> Engine.Batch_leave v) victims)
+  in
+  checki "two joins" 2 (List.length joined);
+  checki "net population" (before + 1) (Engine.n_nodes e);
+  checkb "messages summed" true (report.Engine.messages > 0);
+  checkb "rounds are a max, not a sum" true (report.Engine.rounds < 100_000);
+  Engine.check_invariants e
+
+let test_batch_empty () =
+  let e = make_engine () in
+  let joined, report = Engine.batch e [] in
+  checki "no joins" 0 (List.length joined);
+  checki "no cost" 0 report.Engine.messages
+
+let test_batch_rounds_max () =
+  let e = make_engine () in
+  (* A batch's rounds must not exceed the sum of individual op rounds and
+     must be at least each one's; with two ops, strictly less than sum
+     whenever both are positive. *)
+  let _, r1 = Engine.join e Node.Honest in
+  let _, rb =
+    Engine.batch e [ Engine.Batch_join Node.Honest; Engine.Batch_join Node.Honest ]
+  in
+  checkb "max-combined" true (rb.Engine.rounds <= 2 * max r1.Engine.rounds rb.Engine.rounds)
+
+(* ---------- workloads ---------- *)
+
+let test_workload_poisson_ratio () =
+  let rng = Rng.of_int 6 in
+  let w = Adversary.Workload.Poisson { join_ratio = 0.7 } in
+  let joins = ref 0 in
+  for step = 1 to 5000 do
+    match Adversary.Workload.plan w rng ~step ~n:100 ~n0:100 with
+    | Adversary.Workload.Join -> incr joins
+    | Adversary.Workload.Leave -> ()
+  done;
+  checkb "ratio near 0.7" true (abs (!joins - 3500) < 200)
+
+let test_workload_flash_crowd () =
+  let rng = Rng.of_int 7 in
+  let w =
+    Adversary.Workload.Flash_crowd { arrive_at = 10; size = 5; depart_at = 100 }
+  in
+  for step = 10 to 14 do
+    checkb "burst joins" true
+      (Adversary.Workload.plan w rng ~step ~n:100 ~n0:100 = Adversary.Workload.Join)
+  done;
+  checkb "exodus leaves" true
+    (Adversary.Workload.plan w rng ~step:150 ~n:150 ~n0:100 = Adversary.Workload.Leave)
+
+let test_workload_diurnal () =
+  let rng = Rng.of_int 8 in
+  let w = Adversary.Workload.Diurnal { period = 100; amplitude = 0.5 } in
+  (* At the peak of the sine the target is 1.5 n0: below it, join. *)
+  checkb "below target joins" true
+    (Adversary.Workload.plan w rng ~step:25 ~n:100 ~n0:100 = Adversary.Workload.Join);
+  checkb "above target leaves" true
+    (Adversary.Workload.plan w rng ~step:75 ~n:100 ~n0:100 = Adversary.Workload.Leave)
+
+let test_ambient_strategy_runs () =
+  let e = make_engine () in
+  let d =
+    Adversary.create ~tau:0.15
+      ~strategy:(Adversary.Ambient (Adversary.Workload.Diurnal { period = 40; amplitude = 0.3 }))
+      e
+  in
+  for _ = 1 to 120 do
+    Adversary.step d
+  done;
+  Engine.check_invariants e;
+  checki "no standing violations" 0 (Engine.violations_now e);
+  checkb "population moved with the wave" true (Adversary.joins d > 20 && Adversary.leaves d > 20)
+
+(* ---------- cluster-level agreement ---------- *)
+
+let test_cluster_agreement_unanimous () =
+  let e = make_engine () in
+  let r = Apps.Cluster_agreement.run e ~input:(fun _ -> 5) ~byz_input:(fun _ -> 9) () in
+  Alcotest.check (Alcotest.option Alcotest.int) "decides the honest value" (Some 5)
+    r.Apps.Cluster_agreement.decision;
+  checki "no corrupt clusters" 0 r.Apps.Cluster_agreement.corrupt_clusters;
+  checkb "real messages include the valchan expansion" true
+    (r.Apps.Cluster_agreement.messages > r.Apps.Cluster_agreement.virtual_messages)
+
+let test_cluster_agreement_all_decide_same () =
+  let e = make_engine () in
+  let r =
+    Apps.Cluster_agreement.run e ~input:(fun node -> node mod 2) ()
+  in
+  (match r.Apps.Cluster_agreement.decision with
+  | Some _ -> ()
+  | None -> Alcotest.fail "virtual agreement must reach a decision");
+  checki "every cluster decided" (Engine.n_clusters e)
+    (List.length r.Apps.Cluster_agreement.per_cluster)
+
+let test_cluster_agreement_with_corrupt_cluster () =
+  (* At tau = 0.3 and tiny clusters, some cluster usually lacks an honest
+     majority; the virtual protocol must still decide (it tolerates up to
+     #C/4 corrupt virtual processes). *)
+  let rec find_engine seed =
+    if Int64.to_int seed > 60 then None
+    else begin
+      let params =
+        Params.make ~n_max:(1 lsl 10) ~k:3 ~tau:0.3 ~epsilon:0.05
+          ~walk_mode:Params.Direct_sample ()
+      in
+      let rng = Rng.create seed in
+      let initial =
+        List.init 300 (fun _ ->
+            if Rng.bernoulli rng 0.3 then Node.Byzantine else Node.Honest)
+      in
+      let e = Engine.create ~seed params ~initial in
+      if Engine.violations_now e > 0 && Engine.violations_now e <= Engine.n_clusters e / 4
+      then Some e
+      else find_engine (Int64.add seed 1L)
+    end
+  in
+  match find_engine 30L with
+  | None -> () (* no suitable configuration found: vacuous, but unlikely *)
+  | Some e ->
+    let r = Apps.Cluster_agreement.run e ~input:(fun _ -> 4) () in
+    checkb "corrupt clusters reported" true
+      (r.Apps.Cluster_agreement.corrupt_clusters > 0);
+    Alcotest.check (Alcotest.option Alcotest.int)
+      "decision survives a corrupt minority" (Some 4)
+      r.Apps.Cluster_agreement.decision
+
+let test_cluster_agreement_cheaper_than_flat () =
+  let e = make_engine ~n0:600 () in
+  let r = Apps.Cluster_agreement.run e ~input:(fun _ -> 1) () in
+  checkb "beats whole-network agreement scaled" true
+    (r.Apps.Cluster_agreement.messages
+    < Baseline.unclustered_broadcast_messages ~n:600 * 600 / 4)
+
+let suite =
+  [
+    Alcotest.test_case "snapshot state roundtrip" `Quick test_snapshot_roundtrip_state;
+    Alcotest.test_case "snapshot resumes identically" `Quick
+      test_snapshot_resumes_identically;
+    Alcotest.test_case "snapshot double roundtrip" `Quick test_snapshot_double_roundtrip;
+    Alcotest.test_case "snapshot rejects garbage" `Quick test_snapshot_rejects_garbage;
+    Alcotest.test_case "totals counters" `Quick test_totals_counters;
+    Alcotest.test_case "batch mixed" `Quick test_batch_mixed;
+    Alcotest.test_case "batch empty" `Quick test_batch_empty;
+    Alcotest.test_case "batch rounds max" `Quick test_batch_rounds_max;
+    Alcotest.test_case "workload poisson" `Quick test_workload_poisson_ratio;
+    Alcotest.test_case "workload flash crowd" `Quick test_workload_flash_crowd;
+    Alcotest.test_case "workload diurnal" `Quick test_workload_diurnal;
+    Alcotest.test_case "ambient strategy" `Quick test_ambient_strategy_runs;
+    Alcotest.test_case "cluster agreement unanimous" `Quick
+      test_cluster_agreement_unanimous;
+    Alcotest.test_case "cluster agreement decides" `Quick
+      test_cluster_agreement_all_decide_same;
+    Alcotest.test_case "cluster agreement cost" `Quick
+      test_cluster_agreement_cheaper_than_flat;
+    Alcotest.test_case "cluster agreement corrupt minority" `Quick
+      test_cluster_agreement_with_corrupt_cluster;
+  ]
