@@ -3,9 +3,12 @@
    micro-benchmark per experiment, measuring the protocol operation at the
    heart of that experiment.
 
-   Usage:  dune exec bench/main.exe -- [--full] [--skip-micro] [IDS...]
+   Usage:  dune exec bench/main.exe -- [--full] [--skip-micro] [-j N] [IDS...]
      --full        run experiments at EXPERIMENTS.md scale (slow)
      --skip-micro  skip the Bechamel micro-benchmarks
+     -j N          worker domains for the Exec pool (default: available
+                   cores; -j 1 reproduces the sequential run — tables are
+                   byte-identical either way)
      IDS           experiment ids (default: all of E1..E12 F1 F2 A1 A2) *)
 
 open Bechamel
@@ -30,60 +33,82 @@ let small_engine ?(walk_mode = Params.Direct_sample) ?(shuffle = true) () =
   let rng = Rng.create 42L in
   Engine.create ~seed:42L params ~initial:(population rng 300 0.15)
 
-(* Each test measures the dominant operation of its experiment.  Engines
-   are shared across iterations; join/leave pairs keep the population
-   stationary so the measured cost does not drift. *)
+(* Each test measures the dominant operation of its experiment.
+
+   Fixture discipline: every fixture goes through Test.make_with_resource,
+   so it is allocated when *that* benchmark starts — never shared between
+   benchmarks, which would make results depend on the order the tests run
+   in.  The two cheap message-level configs (F2, E12) additionally use
+   Test.multiple: a structurally fresh config per run, so those numbers
+   cannot drift at all.  Engine fixtures use Test.uniq — allocating a
+   full engine per run would dominate the measurement — which shares the
+   engine across the runs of one benchmark only; each such test's
+   measured operation is stationary (join+leave and add+remove pairs keep
+   the population constant, exchange preserves cluster composition
+   distribution, adversary drivers run at their steady state), so the
+   per-run cost does not drift within the benchmark. *)
+let uniq_test ~name ~allocate fn =
+  Test.make_with_resource ~name Test.uniq ~allocate ~free:ignore
+    (Staged.stage fn)
+
+let multiple_test ~name ~allocate fn =
+  Test.make_with_resource ~name Test.multiple ~allocate ~free:ignore
+    (Staged.stage fn)
+
 let micro_tests () =
-  let e1_engine = small_engine () in
+  (* E1: exchange resamples a cluster's membership from the population —
+     composition is stationary across iterations. *)
   let e1 =
-    Test.make ~name:"E1 full cluster exchange"
-      (Staged.stage (fun () ->
-           let tbl = Engine.table e1_engine in
-           let cid = Now_core.Cluster_table.uniform_cluster tbl (Rng.of_int 1) in
-           ignore (Engine.exchange_cluster e1_engine cid)))
+    uniq_test ~name:"E1 full cluster exchange"
+      ~allocate:(fun () -> (small_engine (), Rng.of_int 1))
+      (fun (engine, rng) ->
+        let tbl = Engine.table engine in
+        let cid = Now_core.Cluster_table.uniform_cluster tbl rng in
+        ignore (Engine.exchange_cluster engine cid))
   in
-  let e2_engine = small_engine () in
-  let e2_rng = Rng.of_int 2 in
+  (* E2/A1: a fair join/leave coin keeps the population stationary. *)
   let e2 =
-    Test.make ~name:"E2 neutral churn step"
-      (Staged.stage (fun () ->
-           if Rng.bool e2_rng then ignore (Engine.join e2_engine Node.Honest)
-           else ignore (Engine.leave e2_engine (Engine.random_node e2_engine))))
+    uniq_test ~name:"E2 neutral churn step"
+      ~allocate:(fun () -> (small_engine (), Rng.of_int 2))
+      (fun (engine, rng) ->
+        if Rng.bool rng then ignore (Engine.join engine Node.Honest)
+        else ignore (Engine.leave engine (Engine.random_node engine)))
   in
-  let e3_engine = small_engine () in
-  let e3_driver =
-    Adversary.create ~tau:0.15 ~strategy:Adversary.Target_cluster e3_engine
-  in
+  (* E3/E10/E11: adversary steps alternate joins and leaves around a fixed
+     target size, so the driver operates at its steady state. *)
   let e3 =
-    Test.make ~name:"E3 targeted-attack step"
-      (Staged.stage (fun () -> Adversary.step e3_driver))
+    uniq_test ~name:"E3 targeted-attack step"
+      ~allocate:(fun () ->
+        let engine = small_engine () in
+        Adversary.create ~tau:0.15 ~strategy:Adversary.Target_cluster engine)
+      Adversary.step
   in
-  let e4_rng = Rng.of_int 4 in
-  let e4_over =
-    let o =
-      Over.create ~rng:(Rng.of_int 40) ~target_degree:(fun ~n_vertices ->
-          min (n_vertices - 1) 8)
-    in
-    Over.init_erdos_renyi o ~vertices:(List.init 64 (fun i -> i));
-    o
-  in
-  let e4_next = ref 1000 in
-  let e4_pick () =
-    let vs = Array.of_list (Dsgraph.Graph.vertices (Over.graph e4_over)) in
-    vs.(Rng.int e4_rng (Array.length vs))
-  in
+  (* E4: add+remove pairs keep the vertex count stationary. *)
   let e4 =
-    Test.make ~name:"E4 overlay add+remove vertex"
-      (Staged.stage (fun () ->
-           incr e4_next;
-           Over.add_vertex e4_over !e4_next ~pick:e4_pick;
-           Over.remove_vertex e4_over (e4_pick ()) ~pick:e4_pick))
+    uniq_test ~name:"E4 overlay add+remove vertex"
+      ~allocate:(fun () ->
+        let over =
+          Over.create ~rng:(Rng.of_int 40) ~target_degree:(fun ~n_vertices ->
+              min (n_vertices - 1) 8)
+        in
+        Over.init_erdos_renyi over ~vertices:(List.init 64 (fun i -> i));
+        (over, Rng.of_int 4, ref 1000))
+      (fun (over, rng, next) ->
+        let pick () =
+          let vs = Array.of_list (Dsgraph.Graph.vertices (Over.graph over)) in
+          vs.(Rng.int rng (Array.length vs))
+        in
+        incr next;
+        Over.add_vertex over !next ~pick;
+        Over.remove_vertex over (pick ()) ~pick)
   in
-  let e5_engine = small_engine ~walk_mode:Params.Exact_walk () in
+  (* E5/A2: randCl only reads the cluster table. *)
   let e5 =
-    Test.make ~name:"E5 randCl (exact biased CTRW)"
-      (Staged.stage (fun () -> ignore (Engine.rand_cl e5_engine ())))
+    uniq_test ~name:"E5 randCl (exact biased CTRW)"
+      ~allocate:(fun () -> small_engine ~walk_mode:Params.Exact_walk ())
+      (fun engine -> ignore (Engine.rand_cl engine ()))
   in
+  (* E6 measures allocation itself, so there is no fixture to share. *)
   let e6 =
     Test.make ~name:"E6 initialisation (n0=128)"
       (Staged.stage (fun () ->
@@ -91,109 +116,103 @@ let micro_tests () =
            let rng = Rng.create 6L in
            ignore (Engine.create ~seed:6L params ~initial:(population rng 128 0.15))))
   in
-  let e7_engine = small_engine () in
   let e7 =
-    Test.make ~name:"E7 join+leave pair"
-      (Staged.stage (fun () ->
-           ignore (Engine.join e7_engine Node.Honest);
-           ignore (Engine.leave e7_engine (Engine.random_node e7_engine))))
+    uniq_test ~name:"E7 join+leave pair"
+      ~allocate:(fun () -> small_engine ())
+      (fun engine ->
+        ignore (Engine.join engine Node.Honest);
+        ignore (Engine.leave engine (Engine.random_node engine)))
   in
-  let e8_engine = small_engine () in
+  (* E8: broadcast reads the cluster structure, mutates nothing. *)
   let e8 =
-    Test.make ~name:"E8 clustered broadcast"
-      (Staged.stage (fun () ->
-           ignore (Apps.Broadcast.run e8_engine ~origin:(Engine.random_node e8_engine))))
+    uniq_test ~name:"E8 clustered broadcast"
+      ~allocate:(fun () -> small_engine ())
+      (fun engine ->
+        ignore (Apps.Broadcast.run engine ~origin:(Engine.random_node engine)))
   in
-  let e9_graph = Dsgraph.Gen.ring ~n:64 in
-  let e9_rng = Rng.of_int 9 in
+  (* E9: the walk does not mutate the graph. *)
   let e9 =
-    Test.make ~name:"E9 plain CTRW walk"
-      (Staged.stage (fun () ->
-           ignore (Randwalk.Ctrw.walk e9_graph e9_rng ~start:0 ~duration:12.0 ())))
-  in
-  let e10_engine = small_engine () in
-  let e10_driver =
-    Adversary.create ~tau:0.15 ~strategy:(Adversary.Grow_shrink 64) e10_engine
+    uniq_test ~name:"E9 plain CTRW walk"
+      ~allocate:(fun () -> (Dsgraph.Gen.ring ~n:64, Rng.of_int 9))
+      (fun (graph, rng) ->
+        ignore (Randwalk.Ctrw.walk graph rng ~start:0 ~duration:12.0 ()))
   in
   let e10 =
-    Test.make ~name:"E10 grow-shrink sweep step"
-      (Staged.stage (fun () -> Adversary.step e10_driver))
+    uniq_test ~name:"E10 grow-shrink sweep step"
+      ~allocate:(fun () ->
+        let engine = small_engine () in
+        Adversary.create ~tau:0.15 ~strategy:(Adversary.Grow_shrink 64) engine)
+      Adversary.step
   in
-  let f1_engine = small_engine () in
   let f1 =
-    Test.make ~name:"F1 maintenance op (vs init)"
-      (Staged.stage (fun () ->
-           ignore (Engine.join f1_engine Node.Honest);
-           ignore (Engine.leave f1_engine (Engine.random_node f1_engine))))
+    uniq_test ~name:"F1 maintenance op (vs init)"
+      ~allocate:(fun () -> small_engine ())
+      (fun engine ->
+        ignore (Engine.join engine Node.Honest);
+        ignore (Engine.leave engine (Engine.random_node engine)))
   in
-  let f2_cfg =
-    Cluster.Config.build_uniform ~rng:(Rng.of_int 12) ~n_clusters:4 ~cluster_size:9
-      ~byz_per_cluster:2 ~overlay_degree:3 ()
-  in
+  (* F2/E12: configs are cheap — build a structurally fresh one per run so
+     the message-level numbers cannot drift by construction. *)
   let f2 =
-    Test.make ~name:"F2 message-level exchange of one node"
-      (Staged.stage (fun () ->
-           match Cluster.Exchange.exchange_node f2_cfg ~node:3 with
-           | Ok _ -> ()
-           | Error _ -> ()))
-  in
-  let e11_engine =
-    let params =
-      Params.make ~n_max:(1 lsl 10) ~k:3 ~tau:0.25 ~epsilon:0.05
-        ~walk_mode:Params.Direct_sample ()
-    in
-    let rng = Rng.create 43L in
-    Engine.create ~seed:43L params ~initial:(population rng 300 0.25)
-  in
-  let e11_driver =
-    Adversary.create ~tau:0.25 ~strategy:Adversary.Target_cluster e11_engine
+    multiple_test ~name:"F2 message-level exchange of one node"
+      ~allocate:(fun () ->
+        Cluster.Config.build_uniform ~rng:(Rng.of_int 12) ~n_clusters:4
+          ~cluster_size:9 ~byz_per_cluster:2 ~overlay_degree:3 ())
+      (fun cfg ->
+        match Cluster.Exchange.exchange_node cfg ~node:3 with
+        | Ok _ -> ()
+        | Error _ -> ())
   in
   let e11 =
-    Test.make ~name:"E11 step under 1/r adversary"
-      (Staged.stage (fun () -> Adversary.step e11_driver))
+    uniq_test ~name:"E11 step under 1/r adversary"
+      ~allocate:(fun () ->
+        let params =
+          Params.make ~n_max:(1 lsl 10) ~k:3 ~tau:0.25 ~epsilon:0.05
+            ~walk_mode:Params.Direct_sample ()
+        in
+        let rng = Rng.create 43L in
+        let engine = Engine.create ~seed:43L params ~initial:(population rng 300 0.25) in
+        Adversary.create ~tau:0.25 ~strategy:Adversary.Target_cluster engine)
+      Adversary.step
   in
-  let a1_engine =
-    let params =
-      Params.make ~n_max:(1 lsl 10) ~k:3 ~tau:0.15 ~walk_mode:Params.Direct_sample
-        ~merge_policy:Params.Rejoin_self ()
-    in
-    let rng = Rng.create 44L in
-    Engine.create ~seed:44L params ~initial:(population rng 300 0.15)
-  in
-  let a1_rng = Rng.of_int 45 in
   let a1 =
-    Test.make ~name:"A1 churn step (rejoin-self merges)"
-      (Staged.stage (fun () ->
-           if Rng.bool a1_rng then ignore (Engine.join a1_engine Node.Honest)
-           else ignore (Engine.leave a1_engine (Engine.random_node a1_engine))))
-  in
-  let a2_engine =
-    let params =
-      Params.make ~n_max:(1 lsl 10) ~k:3 ~tau:0.15 ~walk_duration_c:4.0
-        ~walk_mode:Params.Exact_walk ()
-    in
-    let rng = Rng.create 46L in
-    Engine.create ~seed:46L params ~initial:(population rng 300 0.15)
+    uniq_test ~name:"A1 churn step (rejoin-self merges)"
+      ~allocate:(fun () ->
+        let params =
+          Params.make ~n_max:(1 lsl 10) ~k:3 ~tau:0.15
+            ~walk_mode:Params.Direct_sample ~merge_policy:Params.Rejoin_self ()
+        in
+        let rng = Rng.create 44L in
+        (Engine.create ~seed:44L params ~initial:(population rng 300 0.15),
+         Rng.of_int 45))
+      (fun (engine, rng) ->
+        if Rng.bool rng then ignore (Engine.join engine Node.Honest)
+        else ignore (Engine.leave engine (Engine.random_node engine)))
   in
   let a2 =
-    Test.make ~name:"A2 randCl with doubled duration"
-      (Staged.stage (fun () -> ignore (Engine.rand_cl a2_engine ())))
+    uniq_test ~name:"A2 randCl with doubled duration"
+      ~allocate:(fun () ->
+        let params =
+          Params.make ~n_max:(1 lsl 10) ~k:3 ~tau:0.15 ~walk_duration_c:4.0
+            ~walk_mode:Params.Exact_walk ()
+        in
+        let rng = Rng.create 46L in
+        Engine.create ~seed:46L params ~initial:(population rng 300 0.15))
+      (fun engine -> ignore (Engine.rand_cl engine ()))
   in
-  let e12_cfg =
-    Cluster.Config.build_uniform ~rng:(Rng.of_int 47) ~n_clusters:5 ~cluster_size:10
-      ~byz_per_cluster:1 ~overlay_degree:3 ()
-  in
-  let e12_next = ref 500_000 in
   let e12 =
-    Test.make ~name:"E12 message-level join+leave (end-to-end)"
-      (Staged.stage (fun () ->
-           incr e12_next;
-           (match Cluster.Ops.join e12_cfg ~node:!e12_next ~contact:0 () with
-           | Ok _ -> ()
-           | Error _ -> ());
-           match Cluster.Ops.leave e12_cfg ~node:!e12_next () with
-           | Ok _ -> ()
-           | Error _ -> ()))
+    multiple_test ~name:"E12 message-level join+leave (end-to-end)"
+      ~allocate:(fun () ->
+        Cluster.Config.build_uniform ~rng:(Rng.of_int 47) ~n_clusters:5
+          ~cluster_size:10 ~byz_per_cluster:1 ~overlay_degree:3 ())
+      (fun cfg ->
+        (* Fresh config per run, so a fixed joiner id is never a duplicate. *)
+        (match Cluster.Ops.join cfg ~node:500_001 ~contact:0 () with
+        | Ok _ -> ()
+        | Error _ -> ());
+        match Cluster.Ops.leave cfg ~node:500_001 () with
+        | Ok _ -> ()
+        | Error _ -> ())
   in
   [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; f1; f2; a1; a2 ]
 
@@ -242,10 +261,32 @@ let () =
   let args = Array.to_list Sys.argv |> List.tl in
   let full = List.mem "--full" args in
   let skip_micro = List.mem "--skip-micro" args in
+  let rec parse_jobs = function
+    | [] -> None
+    | ("-j" | "--jobs") :: n :: _ -> (
+      match int_of_string_opt n with
+      | Some j when j >= 1 -> Some j
+      | _ -> failwith (Printf.sprintf "bench: -j expects a positive integer, got %S" n))
+    | ("-j" | "--jobs") :: [] -> failwith "bench: -j expects an argument"
+    | _ :: rest -> parse_jobs rest
+  in
+  (match parse_jobs args with
+  | Some j -> Exec.set_default_jobs j
+  | None -> ());
   let ids =
-    List.filter (fun a -> not (String.length a >= 2 && String.sub a 0 2 = "--")) args
+    let rec strip = function
+      | [] -> []
+      | ("-j" | "--jobs") :: _ :: rest -> strip rest
+      | a :: rest ->
+        if String.length a >= 2 && String.sub a 0 2 = "--" then strip rest
+        else a :: strip rest
+    in
+    strip args
   in
   let mode = if full then Harness.Common.Full else Harness.Common.Quick in
+  (* Note: the job count is deliberately not echoed — the whole point is
+     that the output is byte-identical for any -j, and the CI determinism
+     gate diffs these outputs across -j values. *)
   Printf.printf
     "NOW/OVER reproduction bench — experiments %s in %s mode\n\n%!"
     (match ids with [] -> "E1..E12, F1, F2, A1, A2" | _ -> String.concat ", " ids)

@@ -56,6 +56,28 @@ let verbose_t =
     value & flag
     & info [ "v"; "verbose" ] ~doc:"Log protocol events (splits, merges, violations).")
 
+let jobs_t =
+  let positive_int =
+    let parse s =
+      match Arg.conv_parser Arg.int s with
+      | Ok j when j >= 1 -> Ok j
+      | Ok j -> Error (`Msg (Printf.sprintf "expected a positive job count, got %d" j))
+      | Error _ as e -> e
+    in
+    Arg.conv (parse, Arg.conv_printer Arg.int)
+  in
+  Arg.(
+    value
+    & opt (some positive_int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for the deterministic Exec pool (default: \
+           available cores).  Results are byte-identical for any $(docv); \
+           $(b,-j 1) reproduces the sequential run.")
+
+let setup_jobs jobs =
+  match jobs with Some j -> Exec.set_default_jobs j | None -> ()
+
 let setup_logs verbose =
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
@@ -91,7 +113,8 @@ let experiments_cmd =
   let list_t =
     Arg.(value & flag & info [ "list" ] ~doc:"List the experiment ids and exit.")
   in
-  let run ids full csv list =
+  let run ids full csv list jobs =
+    setup_jobs jobs;
     if list then begin
       List.iter (fun (id, _) -> print_endline id) Harness.Registry.all;
       `Ok ()
@@ -118,7 +141,7 @@ let experiments_cmd =
     else `Error (false, "some experiments mismatched")
     end
   in
-  let term = Term.(ret (const run $ ids_t $ full_t $ csv_t $ list_t)) in
+  let term = Term.(ret (const run $ ids_t $ full_t $ csv_t $ list_t $ jobs_t)) in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Run the paper-reproduction experiment suite (DESIGN.md section 4).")

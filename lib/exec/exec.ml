@@ -1,0 +1,113 @@
+(* Deterministic fork-join pool on OCaml 5 domains.  See exec.mli for the
+   contract; the load-bearing choices are (a) tasks are handed out by an
+   atomic submission-index dispenser and results live in a slot per index,
+   so the merge order is independent of scheduling, and (b) spawning is
+   gated by a global pool of spare domain slots, so the total number of
+   live domains never exceeds the configured job count no matter how
+   par_map calls nest — a caller that cannot spawn simply executes tasks
+   itself, re-checking the pool between tasks so capacity freed elsewhere
+   (e.g. sibling experiments finishing) is picked up mid-run. *)
+
+let recommended_jobs () = Domain.recommended_domain_count ()
+
+let default = Atomic.make 0
+(* 0 = "not set yet": resolved lazily so that set_default_jobs from a CLI
+   flag wins over the recommendation without an initialisation order
+   dependence. *)
+
+let default_jobs () =
+  match Atomic.get default with 0 -> recommended_jobs () | j -> j
+
+(* Spare domain slots shared by every par_map call (the calling domain is
+   not counted: [j] jobs = 1 caller + [j - 1] spares).  -1 = not yet
+   initialised from [default_jobs]. *)
+let spare = Atomic.make (-1)
+
+let set_default_jobs j =
+  let j = max 1 j in
+  Atomic.set default j;
+  (* Assumes no par_map is in flight — true for the CLIs (flag parsing
+     happens before any experiment runs) and the test suite. *)
+  Atomic.set spare (j - 1)
+
+let init_spare () =
+  if Atomic.get spare = -1 then
+    ignore (Atomic.compare_and_set spare (-1) (default_jobs () - 1))
+
+let rec try_reserve () =
+  let s = Atomic.get spare in
+  s > 0 && (Atomic.compare_and_set spare s (s - 1) || try_reserve ())
+
+let release () = Atomic.incr spare
+
+type 'b slot = Empty | Ok of 'b | Err of exn * Printexc.raw_backtrace
+
+let par_map ?jobs f xs =
+  let tasks = Array.of_list xs in
+  let n = Array.length tasks in
+  if n <= 1 then List.map f xs
+  else begin
+    init_spare ();
+    (* With an explicit ?jobs the caller knows best: spawn up to jobs - 1
+       workers unconditionally.  With the default, spawning additionally
+       requires a slot from the global pool, which is what bounds the
+       domain count under nesting. *)
+    let budgeted = jobs = None in
+    let target =
+      let j = match jobs with Some j -> max 1 j | None -> default_jobs () in
+      min (j - 1) (n - 1)
+    in
+    let results = Array.make n Empty in
+    let next = Atomic.make 0 in
+    let run i =
+      results.(i) <-
+        (try Ok (f tasks.(i))
+         with e -> Err (e, Printexc.get_raw_backtrace ()))
+    in
+    let rec drain () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        run i;
+        drain ()
+      end
+    in
+    let worker () =
+      drain ();
+      if budgeted then release ()
+    in
+    let workers = ref [] in
+    let to_spawn = ref target in
+    (* The calling domain: spawn while capacity allows, otherwise chip in
+       on a task, then look again — capacity released by unrelated callers
+       while we were busy gets used for our remaining tasks. *)
+    let rec caller_loop () =
+      if Atomic.get next < n then
+        if !to_spawn > 0 && ((not budgeted) || try_reserve ()) then begin
+          decr to_spawn;
+          workers := Domain.spawn worker :: !workers;
+          caller_loop ()
+        end
+        else begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then run i;
+          caller_loop ()
+        end
+    in
+    caller_loop ();
+    List.iter Domain.join !workers;
+    (* Merge in submission order; re-raise the lowest-index failure so the
+       observable exception is scheduling-independent. *)
+    Array.iter
+      (function
+        | Err (e, bt) -> Printexc.raise_with_backtrace e bt
+        | Ok _ | Empty -> ())
+      results;
+    Array.to_list
+      (Array.map
+         (function
+           | Ok y -> y
+           | Empty | Err _ -> assert false (* all slots filled above *))
+         results)
+  end
+
+let par_iter ?jobs f xs = ignore (par_map ?jobs f xs)

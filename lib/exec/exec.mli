@@ -1,0 +1,59 @@
+(** Deterministic fork-join execution on OCaml 5 domains.
+
+    The repo's invariant is that the same seed yields bit-identical tables
+    and trajectories (CLAUDE.md); this module adds multicore fan-out
+    without giving that up.  The contract:
+
+    - Tasks are identified by their {e submission index}, never by the
+      order the scheduler happens to run them in.  Results are collected
+      into a slot per index and merged in submission order, so
+      [par_map f xs] returns exactly [List.map f xs] for any worker
+      count — a property the test suite checks byte-for-byte on real
+      experiment tables.
+    - Any per-task randomness must be derived from the task index (see
+      {!Harness.Common.par_map_trials}), never from which worker picked
+      the task up.
+    - Tasks must be independent: they may not share mutable state with
+      each other (every experiment cell builds its own engine from the
+      experiment seed, which is why the harness parallelises at that
+      granularity).
+
+    The pool is hand-rolled (no Domainslib): worker domains drain an
+    atomic task-index dispenser.  When [?jobs] is omitted, spawning is
+    gated by a global budget of [default_jobs () - 1] spare domain
+    slots, so the total number of live domains never exceeds the
+    configured job count no matter how calls nest (e.g.
+    [Registry.run_ids] fans out over experiments while each
+    experiment's own [par_map] calls use whatever slots are free).  A
+    caller that cannot spawn executes tasks itself and re-checks the
+    budget between tasks, so capacity released by sibling experiments
+    finishing is picked up mid-experiment.  An explicit [?jobs]
+    bypasses the budget for that call. *)
+
+val recommended_jobs : unit -> int
+(** [Domain.recommended_domain_count ()] — what [-j] defaults to. *)
+
+val set_default_jobs : int -> unit
+(** Set the job count used when [?jobs] is omitted (clamped to >= 1).
+    The CLIs call this once from their [-j] flag before running
+    anything. *)
+
+val default_jobs : unit -> int
+(** Current default job count.  Starts at {!recommended_jobs}. *)
+
+val par_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [par_map ?jobs f xs] is [List.map f xs], computed by up to [jobs]
+    domains (default {!default_jobs}).  [jobs = 1] and singleton/empty
+    lists run sequentially in the calling domain; a call made while the
+    domain budget is exhausted (e.g. nested under a saturated outer
+    [par_map]) also starts sequentially, picking up workers only as
+    budget frees up.
+
+    If one or more tasks raise, the exception of the {e
+    lowest-submission-index} failing task is re-raised (with its
+    backtrace) after all workers have drained — deterministic no matter
+    which worker hit it first.  Remaining tasks may or may not have run;
+    tasks must not rely on later siblings being skipped. *)
+
+val par_iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
+(** [par_iter ?jobs f xs] is [ignore (par_map ?jobs f xs)]. *)

@@ -40,3 +40,11 @@ let default_engine ?(seed = 7L) ?(walk_mode = Now_core.Params.Direct_sample) ?(k
   Now_core.Engine.create ~seed params ~initial
 
 let log2i n = log (float_of_int (max 1 n)) /. log 2.0
+
+(* The per-task generators are split off a base generator in submission
+   order, before any task runs, so the stream a task sees depends only on
+   its index — never on which domain picked it up or in what order. *)
+let par_map_trials ?jobs ~seed f xs =
+  let base = Prng.Rng.create seed in
+  let seeded = List.map (fun x -> (Prng.Rng.split base, x)) xs in
+  Exec.par_map ?jobs (fun (rng, x) -> f ~rng x) seeded

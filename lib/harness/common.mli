@@ -38,3 +38,11 @@ val default_engine :
   Now_core.Engine.t
 
 val log2i : int -> float
+
+val par_map_trials :
+  ?jobs:int -> seed:int64 -> (rng:Prng.Rng.t -> 'a -> 'b) -> 'a list -> 'b list
+(** [par_map_trials ~seed f tasks] runs the independent trial cells
+    [tasks] on the {!Exec} pool, handing task [i] a generator split off
+    [Prng.Rng.create seed] exactly [i+1] times — derived by task index,
+    never by scheduling order, so the result equals the sequential run
+    for any worker count.  Results come back in task-submission order. *)

@@ -27,59 +27,64 @@ let run ?(mode = Common.Quick) ?(seed = 101L) () =
           "P(p>tau(1+eps))"; "chernoff(eps)"; "P(p>=1/3)"; "chernoff(1/3)"; "ok";
         ]
   in
+  (* Each (tau, k) cell builds its own engine and trial generator from the
+     experiment seed alone, so the cells are independent tasks: Exec runs
+     them on the domain pool and merges rows in grid order, bit-identical
+     to the sequential sweep for any -j. *)
+  let cell (tau, k) =
+    let epsilon = Float.min 0.1 ((1.0 /. (3.0 *. tau) -. 1.0) /. 2.0) in
+    let engine =
+      let params =
+        Now_core.Params.make ~k ~tau ~epsilon
+          ~walk_mode:Now_core.Params.Direct_sample ~n_max ()
+      in
+      let rng = Prng.Rng.create seed in
+      let initial = Common.initial_population rng ~n:1500 ~tau in
+      Engine.create ~seed params ~initial
+    in
+    let tbl = Engine.table engine in
+    let stats = Metrics.Stats.create () in
+    let over_eps = ref 0 and over_third = ref 0 in
+    let rng = Prng.Rng.create (Int64.add seed 31L) in
+    let cluster_size = Metrics.Stats.create () in
+    for _ = 1 to trials do
+      let cid = Ct.uniform_cluster tbl rng in
+      ignore (Engine.exchange_cluster engine cid);
+      let p = Ct.byz_fraction tbl cid in
+      Metrics.Stats.add stats p;
+      Metrics.Stats.add_int cluster_size (Ct.size tbl cid);
+      if p > tau *. (1.0 +. epsilon) then incr over_eps;
+      if p >= 1.0 /. 3.0 then incr over_third
+    done;
+    let ft = float_of_int trials in
+    let tail_eps = float_of_int !over_eps /. ft in
+    let tail_third = float_of_int !over_third /. ft in
+    let mean_size = Metrics.Stats.mean cluster_size in
+    let mu = tau *. mean_size in
+    let bound_eps = chernoff_tail ~mu ~delta:epsilon in
+    let bound_third = chernoff_tail ~mu ~delta:((1.0 /. (3.0 *. tau)) -. 1.0) in
+    (* Chernoff is an upper bound: the empirical tail must respect it
+       up to sampling noise (3 sigma of a Bernoulli estimate). *)
+    let noise = 3.0 *. sqrt (Float.max bound_eps (1.0 /. ft) /. ft) in
+    let ok =
+      tail_eps <= bound_eps +. noise +. (3.0 /. ft)
+      && tail_third <= (5.0 *. bound_third) +. (3.0 /. ft) +. noise
+    in
+    ( ok,
+      [
+        Table.F2 tau; Table.I k; Table.F2 mean_size; Table.I trials;
+        Table.F (Metrics.Stats.mean stats); Table.F (Metrics.Stats.max stats);
+        Table.E tail_eps; Table.E bound_eps; Table.E tail_third;
+        Table.E bound_third; Table.S (if ok then "yes" else "NO");
+      ] )
+  in
+  let cells = List.concat_map (fun tau -> List.map (fun k -> (tau, k)) ks) taus in
   let all_ok = ref true in
   List.iter
-    (fun tau ->
-      List.iter
-        (fun k ->
-          let epsilon = Float.min 0.1 ((1.0 /. (3.0 *. tau) -. 1.0) /. 2.0) in
-          let engine =
-            let params =
-              Now_core.Params.make ~k ~tau ~epsilon
-                ~walk_mode:Now_core.Params.Direct_sample ~n_max ()
-            in
-            let rng = Prng.Rng.create seed in
-            let initial = Common.initial_population rng ~n:1500 ~tau in
-            Engine.create ~seed params ~initial
-          in
-          let tbl = Engine.table engine in
-          let stats = Metrics.Stats.create () in
-          let over_eps = ref 0 and over_third = ref 0 in
-          let rng = Prng.Rng.create (Int64.add seed 31L) in
-          let cluster_size = Metrics.Stats.create () in
-          for _ = 1 to trials do
-            let cid = Ct.uniform_cluster tbl rng in
-            ignore (Engine.exchange_cluster engine cid);
-            let p = Ct.byz_fraction tbl cid in
-            Metrics.Stats.add stats p;
-            Metrics.Stats.add_int cluster_size (Ct.size tbl cid);
-            if p > tau *. (1.0 +. epsilon) then incr over_eps;
-            if p >= 1.0 /. 3.0 then incr over_third
-          done;
-          let ft = float_of_int trials in
-          let tail_eps = float_of_int !over_eps /. ft in
-          let tail_third = float_of_int !over_third /. ft in
-          let mean_size = Metrics.Stats.mean cluster_size in
-          let mu = tau *. mean_size in
-          let bound_eps = chernoff_tail ~mu ~delta:epsilon in
-          let bound_third = chernoff_tail ~mu ~delta:((1.0 /. (3.0 *. tau)) -. 1.0) in
-          (* Chernoff is an upper bound: the empirical tail must respect it
-             up to sampling noise (3 sigma of a Bernoulli estimate). *)
-          let noise = 3.0 *. sqrt (Float.max bound_eps (1.0 /. ft) /. ft) in
-          let ok =
-            tail_eps <= bound_eps +. noise +. (3.0 /. ft)
-            && tail_third <= (5.0 *. bound_third) +. (3.0 /. ft) +. noise
-          in
-          if not ok then all_ok := false;
-          Table.add_row table
-            [
-              Table.F2 tau; Table.I k; Table.F2 mean_size; Table.I trials;
-              Table.F (Metrics.Stats.mean stats); Table.F (Metrics.Stats.max stats);
-              Table.E tail_eps; Table.E bound_eps; Table.E tail_third;
-              Table.E bound_third; Table.S (if ok then "yes" else "NO");
-            ])
-        ks)
-    taus;
+    (fun (ok, row) ->
+      if not ok then all_ok := false;
+      Table.add_row table row)
+    (Exec.par_map cell cells);
   Common.make_result ~id:"E1"
     ~title:"Lemma 1 — >2/3 honest after full exchange (Chernoff tails)"
     ~table

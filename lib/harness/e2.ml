@@ -45,29 +45,38 @@ let run ?(mode = Common.Quick) ?(seed = 202L) () =
         ]
   in
   let all_ok = ref true in
-  let rng = Rng.create seed in
-  (* ---- Part 1: the dominating martingale of the proofs. ---- *)
+  (* ---- Part 1: the dominating martingale of the proofs. ----
+     Each configuration is an independent trial cell: par_map_trials hands
+     cell [i] a generator split off the experiment seed by index, so the
+     martingale streams no longer depend on the order the cells run in. *)
   let trials = Common.scale mode ~quick:2000 ~full:20000 in
   List.iter
-    (fun (k, tau, eps) ->
-      let size = k * 14 (* |C| at N = 2^14 *) in
-      let steps = 8 * 14 (* M log N with M = 8 *) in
-      let emp = martingale_exceed_probability rng ~size ~tau ~eps ~steps ~trials in
-      let bound = azuma_bound ~size ~tau ~eps ~steps in
-      let noise = 3.0 *. sqrt ((bound +. (1.0 /. float_of_int trials)) /. float_of_int trials) in
-      let ok = emp <= bound +. noise in
+    (fun (ok, row) ->
       if not ok then all_ok := false;
-      Table.add_row table
-        [
-          Table.S "model"; Table.I k; Table.I size; Table.F2 tau; Table.F2 eps;
-          Table.I steps; Table.E emp; Table.E bound; Table.S "-"; Table.S "-";
-          Table.S "-"; Table.S "-"; Table.S (if ok then "yes" else "NO");
-        ])
-    [ (8, 0.15, 0.4); (16, 0.15, 0.4); (8, 0.25, 0.2) ];
-  (* ---- Part 2: the engine under neutral churn. ---- *)
+      Table.add_row table row)
+    (Common.par_map_trials ~seed
+       (fun ~rng (k, tau, eps) ->
+         let size = k * 14 (* |C| at N = 2^14 *) in
+         let steps = 8 * 14 (* M log N with M = 8 *) in
+         let emp = martingale_exceed_probability rng ~size ~tau ~eps ~steps ~trials in
+         let bound = azuma_bound ~size ~tau ~eps ~steps in
+         let noise =
+           3.0 *. sqrt ((bound +. (1.0 /. float_of_int trials)) /. float_of_int trials)
+         in
+         let ok = emp <= bound +. noise in
+         ( ok,
+           [
+             Table.S "model"; Table.I k; Table.I size; Table.F2 tau; Table.F2 eps;
+             Table.I steps; Table.E emp; Table.E bound; Table.S "-"; Table.S "-";
+             Table.S "-"; Table.S "-"; Table.S (if ok then "yes" else "NO");
+           ] ))
+       [ (8, 0.15, 0.4); (16, 0.15, 0.4); (8, 0.25, 0.2) ]);
+  (* ---- Part 2: the engine under neutral churn. ----
+     One independent engine per k, each built from the experiment seed, so
+     the per-N excursion walks fan out across domains with unchanged
+     streams. *)
   let steps = Common.scale mode ~quick:1500 ~full:15000 in
-  List.iter
-    (fun k ->
+  let excursion_cell k =
       let tau = 0.15 in
       let eps = 0.4 in
       let engine =
@@ -103,8 +112,7 @@ let run ?(mode = Common.Quick) ?(seed = 202L) () =
         (episodes = 0 || mean_return <= 30.0 *. Common.log2i (1 lsl 14))
         && (k < 16 || !max_p < 1.0 /. 3.0)
       in
-      if not ok then all_ok := false;
-      Table.add_row table
+      ( ok,
         [
           Table.S "engine"; Table.I k;
           Table.I (Now_core.Params.target_cluster_size (Engine.params engine));
@@ -112,8 +120,13 @@ let run ?(mode = Common.Quick) ?(seed = 202L) () =
           Table.I episodes;
           Table.S (if episodes = 0 then "-" else Printf.sprintf "%.1f" mean_return);
           Table.F !max_p; Table.I events; Table.S (if ok then "yes" else "NO");
-        ])
-    [ 8; 16 ];
+        ] )
+  in
+  List.iter
+    (fun (ok, row) ->
+      if not ok then all_ok := false;
+      Table.add_row table row)
+    (Exec.par_map excursion_cell [ 8; 16 ]);
   Common.make_result ~id:"E2"
     ~title:"Lemmas 2-3 — bounded divergence and O(log N) pull-back" ~table
     ~notes:

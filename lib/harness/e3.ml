@@ -33,38 +33,44 @@ let run ?(mode = Common.Quick) ?(seed = 303L) () =
           "target byz frac"; "violations now"; "events"; "ok";
         ]
   in
+  (* Every variant drives its own engine built from the same experiment
+     seed, so the four attack sweeps are independent tasks for the Exec
+     pool; rows come back in variant order, identical for any -j. *)
+  let attack_sweep v =
+    let engine =
+      Common.default_engine ~seed ~tau ~shuffle:v.shuffle ~n_max:(1 lsl 14)
+        ~n0:1500 ()
+    in
+    let driver = Adversary.create ~seed ~tau ~strategy:v.strategy engine in
+    Adversary.run driver ~steps ~on_sample:(fun _ -> ());
+    let minhf = Adversary.min_honest_fraction_seen driver in
+    let target_frac = Adversary.target_byz_fraction driver in
+    let violations = Engine.violations_now engine in
+    let ok =
+      if v.shuffle then
+        (* NOW: no standing violation; the floor can graze the Chernoff
+           tail transiently but must stay clearly above 1/2 honest. *)
+        violations = 0 && minhf > 0.55
+      else
+        (* The baseline must be broken by the attack: the adversary ends
+           up owning at least a third of its target cluster. *)
+        target_frac >= 1.0 /. 3.0
+    in
+    Engine.check_invariants engine;
+    ( ok,
+      [
+        Table.S v.name; Table.I steps; Table.I (Engine.n_nodes engine);
+        Table.I (Engine.n_clusters engine); Table.F minhf; Table.F target_frac;
+        Table.I violations; Table.I (Engine.violation_events engine);
+        Table.S (if ok then "yes" else "NO");
+      ] )
+  in
   let all_ok = ref true in
   List.iter
-    (fun v ->
-      let engine =
-        Common.default_engine ~seed ~tau ~shuffle:v.shuffle ~n_max:(1 lsl 14)
-          ~n0:1500 ()
-      in
-      let driver = Adversary.create ~seed ~tau ~strategy:v.strategy engine in
-      Adversary.run driver ~steps ~on_sample:(fun _ -> ());
-      let minhf = Adversary.min_honest_fraction_seen driver in
-      let target_frac = Adversary.target_byz_fraction driver in
-      let violations = Engine.violations_now engine in
-      let ok =
-        if v.shuffle then
-          (* NOW: no standing violation; the floor can graze the Chernoff
-             tail transiently but must stay clearly above 1/2 honest. *)
-          violations = 0 && minhf > 0.55
-        else
-          (* The baseline must be broken by the attack: the adversary ends
-             up owning at least a third of its target cluster. *)
-          target_frac >= 1.0 /. 3.0
-      in
+    (fun (ok, row) ->
       if not ok then all_ok := false;
-      Engine.check_invariants engine;
-      Table.add_row table
-        [
-          Table.S v.name; Table.I steps; Table.I (Engine.n_nodes engine);
-          Table.I (Engine.n_clusters engine); Table.F minhf; Table.F target_frac;
-          Table.I violations; Table.I (Engine.violation_events engine);
-          Table.S (if ok then "yes" else "NO");
-        ])
-    variants;
+      Table.add_row table row)
+    (Exec.par_map attack_sweep variants);
   Common.make_result ~id:"E3"
     ~title:"Theorem 3 — all clusters >2/3 honest after polynomial churn" ~table
     ~notes:

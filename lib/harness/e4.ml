@@ -66,35 +66,43 @@ let run ?(mode = Common.Quick) ?(seed = 404L) () =
           "max degree"; "degree cap"; "connected"; "ok";
         ]
   in
+  (* Each overlay size derives its generator from [seed + n], so the churn
+     sequences are independent tasks; Exec merges the rows in size order,
+     bit-identical to the sequential sweep. *)
+  let over_cell n =
+    let rng = Rng.create (Int64.add seed (Int64.of_int n)) in
+    let over = Over.create ~rng:(Rng.split rng) ~target_degree:degree_target in
+    Over.init_erdos_renyi over ~vertices:(List.init n (fun i -> i));
+    let ops = Common.scale mode ~quick:(5 * n) ~full:(20 * n) in
+    let min_spec, min_sweep, max_deg, connected =
+      churn_run rng over ~ops ~sample_every:(max 1 (n / 2))
+    in
+    let d_t = degree_target ~n_vertices:n in
+    let cap = 2 * degree_target ~n_vertices:(2 * n) in
+    (* Property 1 (relative form): expansion stays a constant fraction of
+       the degree; Property 2: degree at most twice the target. *)
+    let ok =
+      connected && min_spec > 0.08 *. float_of_int d_t && max_deg <= cap
+    in
+    ( ok,
+      [
+        Table.S "OVER"; Table.I n; Table.I ops; Table.I d_t; Table.F min_spec;
+        Table.F min_sweep; Table.I max_deg; Table.I cap;
+        Table.S (string_of_bool connected); Table.S (if ok then "yes" else "NO");
+      ] )
+  in
   let all_ok = ref true in
-  List.iter
-    (fun n ->
-      let rng = Rng.create (Int64.add seed (Int64.of_int n)) in
-      let over = Over.create ~rng:(Rng.split rng) ~target_degree:degree_target in
-      Over.init_erdos_renyi over ~vertices:(List.init n (fun i -> i));
-      let ops = Common.scale mode ~quick:(5 * n) ~full:(20 * n) in
-      let min_spec, min_sweep, max_deg, connected =
-        churn_run rng over ~ops ~sample_every:(max 1 (n / 2))
-      in
-      let d_t = degree_target ~n_vertices:n in
-      let cap = 2 * degree_target ~n_vertices:(2 * n) in
-      (* Property 1 (relative form): expansion stays a constant fraction of
-         the degree; Property 2: degree at most twice the target. *)
-      let ok =
-        connected && min_spec > 0.08 *. float_of_int d_t && max_deg <= cap
-      in
-      if not ok then all_ok := false;
-      Table.add_row table
-        [
-          Table.S "OVER"; Table.I n; Table.I ops; Table.I d_t; Table.F min_spec;
-          Table.F min_sweep; Table.I max_deg; Table.I cap;
-          Table.S (string_of_bool connected); Table.S (if ok then "yes" else "NO");
-        ])
-    sizes;
+  let merge_rows rows =
+    List.iter
+      (fun (ok, row) ->
+        if not ok then all_ok := false;
+        Table.add_row table row)
+      rows
+  in
+  merge_rows (Exec.par_map over_cell sizes);
   (* The alternative construction the paper cites ([26], Law-Siu): the
      union of r random cycles, degree exactly 2r, under the same churn. *)
-  List.iter
-    (fun n ->
+  let cycles_cell n =
       let rng = Rng.create (Int64.add seed (Int64.of_int (7 * n))) in
       let r = 3 in
       let cyc =
@@ -130,15 +138,17 @@ let run ?(mode = Common.Quick) ?(seed = 404L) () =
       Over.Cycles.check_consistency cyc;
       (* Degree is 2r by construction; expansion must stay a constant. *)
       let ok = !connected && !min_spec > 0.15 && !max_deg <= 2 * r in
-      if not ok then all_ok := false;
-      Table.add_row table
+      ( ok,
         [
           Table.S "cycles (r=3)"; Table.I n; Table.I ops; Table.I (2 * r);
           Table.F !min_spec; Table.F !min_sweep; Table.I !max_deg;
           Table.I (2 * r); Table.S (string_of_bool !connected);
           Table.S (if ok then "yes" else "NO");
-        ])
-    (match mode with Common.Quick -> [ 64 ] | Common.Full -> [ 64; 256 ]);
+        ] )
+  in
+  merge_rows
+    (Exec.par_map cycles_cell
+       (match mode with Common.Quick -> [ 64 ] | Common.Full -> [ 64; 256 ]));
   (* Negative control: a ring has vanishing expansion. *)
   let ring = Dsgraph.Gen.ring ~n:128 in
   let ring_upper = Dsgraph.Expansion.sweep_upper ~iterations:500 ring in

@@ -105,12 +105,12 @@ let run ?(mode = Common.Quick) ?(seed = 505L) () =
     | Common.Full -> [ 1 lsl 8; 1 lsl 10; 1 lsl 12 ]
   in
   let walks = Common.scale mode ~quick:8 ~full:25 in
+  (* Every N builds its own kernel/engine from the experiment seed, so the
+     per-N cost measurements of both parts fan out on the Exec pool; rows
+     are merged in N order, identical for any -j. *)
   let msg_results =
     List.map
-      (fun n_max ->
-        let rc_m, rc_r, ex_m, ex_r, join_m, leave_m =
-          msg_level_costs ~seed ~n_max ~walks
-        in
+      (fun (n_max, (rc_m, rc_r, ex_m, ex_r, join_m, leave_m)) ->
         Table.add_row table
           [ Table.S "msg-level"; Table.I n_max; Table.S "randCl"; Table.F rc_m; Table.F rc_r ];
         Table.add_row table
@@ -123,7 +123,9 @@ let run ?(mode = Common.Quick) ?(seed = 505L) () =
         Table.add_row table
           [ Table.S "msg-level"; Table.I n_max; Table.S "leave"; Table.I leave_m; Table.S "-" ];
         (n_max, rc_m))
-      msg_ns
+      (Exec.par_map
+         (fun n_max -> (n_max, msg_level_costs ~seed ~n_max ~walks))
+         msg_ns)
   in
   (* ---- state level ---- *)
   let state_ns =
@@ -134,8 +136,7 @@ let run ?(mode = Common.Quick) ?(seed = 505L) () =
   let ops = Common.scale mode ~quick:8 ~full:30 in
   let per_op = Hashtbl.create 8 in
   List.iter
-    (fun n_max ->
-      let jm, jr, lm, lr, rc = state_level_costs ~seed ~n_max ~ops in
+    (fun (n_max, (jm, jr, lm, lr, rc)) ->
       let add op stats_m stats_r =
         Table.add_row table
           [
@@ -150,7 +151,9 @@ let run ?(mode = Common.Quick) ?(seed = 505L) () =
       add "join" jm (Some jr);
       add "leave" lm (Some lr);
       add "randCl" rc None)
-    state_ns;
+    (Exec.par_map
+       (fun n_max -> (n_max, state_level_costs ~seed ~n_max ~ops))
+       state_ns);
   (* ---- fits ----
      Expected polylog exponents: randCl ~ 5 (paper: O(log^5 N)); join is
      dominated by one full exchange ~ 6 (paper: O(log^6 N)); leave adds the

@@ -36,9 +36,11 @@ let run_ids ~mode ids =
           | None -> invalid_arg (Printf.sprintf "unknown experiment id %S" id))
         ids
   in
-  List.map
-    (fun (_, runner) ->
-      let result = runner mode in
-      Common.print_result result;
-      result)
-    selected
+  (* Independent experiments fan out across the Exec pool (each builds its
+     own engines from its own seed); results are merged and printed in
+     registry order, so the output is identical for any -j.  Experiments'
+     own par_map calls degrade to sequential inside a pool worker, keeping
+     the domain count bounded. *)
+  let results = Exec.par_map (fun (_, runner) -> runner mode) selected in
+  List.iter Common.print_result results;
+  results

@@ -10,5 +10,7 @@ val find : string -> runner option
 (** Case-insensitive lookup by id. *)
 
 val run_ids : mode:Common.mode -> string list -> Common.result list
-(** Run the experiments with the given ids ([[]] means all), printing each
-    result as it completes.  Raises [Invalid_argument] on an unknown id. *)
+(** Run the experiments with the given ids ([[]] means all) concurrently
+    on the {!Exec} pool, then print every result in registry order (the
+    output is byte-identical for any [-j]).  Raises [Invalid_argument] on
+    an unknown id. *)

@@ -1,0 +1,123 @@
+(* Tests for the deterministic fork-join pool (lib/exec): order-preserving
+   merge, worker-count independence, exception propagation, nesting, the
+   qcheck equivalence with List.map, and the end-to-end guarantee the rest
+   of the repo relies on — a real experiment produces byte-identical
+   tables for -j 1 and -j 4. *)
+
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+let check_ints = Alcotest.check (Alcotest.list Alcotest.int)
+
+let test_order_preserving () =
+  let xs = List.init 100 (fun i -> i) in
+  check_ints "merge in submission order"
+    (List.map (fun x -> x * x) xs)
+    (Exec.par_map ~jobs:4 (fun x -> x * x) xs)
+
+let test_worker_count_independence () =
+  let xs = List.init 57 (fun i -> 3 * i) in
+  let expect = List.map (fun x -> x + 1) xs in
+  List.iter
+    (fun jobs ->
+      check_ints
+        (Printf.sprintf "jobs=%d" jobs)
+        expect
+        (Exec.par_map ~jobs (fun x -> x + 1) xs))
+    [ 1; 2; 3; 8; 100 ]
+
+exception Boom of int
+
+let test_exception_propagation () =
+  (* Two tasks fail; the lowest submission index must win no matter which
+     worker hit its failure first. *)
+  let f x = if x = 3 || x = 7 then raise (Boom x) else x in
+  List.iter
+    (fun jobs ->
+      Alcotest.check_raises
+        (Printf.sprintf "lowest failing index, jobs=%d" jobs)
+        (Boom 3)
+        (fun () -> ignore (Exec.par_map ~jobs f (List.init 10 (fun i -> i)))))
+    [ 1; 2; 4 ]
+
+let test_empty_and_singleton () =
+  check_ints "empty" [] (Exec.par_map ~jobs:4 (fun x -> x) []);
+  check_ints "singleton" [ 42 ] (Exec.par_map ~jobs:4 (fun x -> x) [ 42 ])
+
+let test_nested () =
+  (* Nested par_map must return the same values whether the inner calls
+     get real workers (explicit ~jobs) or are throttled by the global
+     domain budget (default jobs). *)
+  let inner x = Exec.par_map ~jobs:4 (fun y -> x + y) [ 1; 2; 3 ] in
+  let got = Exec.par_map ~jobs:4 inner [ 10; 20 ] in
+  Alcotest.check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "nested (explicit jobs)" [ [ 11; 12; 13 ]; [ 21; 22; 23 ] ] got;
+  let saved = Exec.default_jobs () in
+  Exec.set_default_jobs 4;
+  let inner x = Exec.par_map (fun y -> x * y) [ 1; 2; 3; 4 ] in
+  let got = Exec.par_map inner [ 1; 10; 100 ] in
+  Exec.set_default_jobs saved;
+  Alcotest.check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "nested (budgeted)"
+    [ [ 1; 2; 3; 4 ]; [ 10; 20; 30; 40 ]; [ 100; 200; 300; 400 ] ]
+    got
+
+let test_default_jobs () =
+  let saved = Exec.default_jobs () in
+  Exec.set_default_jobs 3;
+  checki "set" 3 (Exec.default_jobs ());
+  Exec.set_default_jobs 0;
+  checki "clamped to 1" 1 (Exec.default_jobs ());
+  Exec.set_default_jobs saved
+
+let test_par_map_trials_deterministic () =
+  (* The per-task stream depends only on the task index and seed; jobs must
+     not matter, and distinct tasks must see distinct streams. *)
+  let run jobs =
+    Harness.Common.par_map_trials ~jobs ~seed:99L
+      (fun ~rng () -> Prng.Rng.int rng 1_000_000)
+      (List.init 16 (fun _ -> ()))
+  in
+  let seq = run 1 in
+  check_ints "jobs=4 equals jobs=1" seq (run 4);
+  check_ints "jobs=7 equals jobs=1" seq (run 7);
+  checki "distinct streams" 16 (List.length (List.sort_uniq compare seq))
+
+let test_experiment_table_byte_identical () =
+  (* The acceptance criterion of the multicore executor: a real experiment
+     (E4 exercises par_map over two sweeps) renders byte-identical tables
+     for -j 1 and -j 4 on the same seed. *)
+  let saved = Exec.default_jobs () in
+  let table_csv jobs =
+    Exec.set_default_jobs jobs;
+    let r = Harness.E4.run ~mode:Harness.Common.Quick () in
+    Metrics.Table.to_csv r.Harness.Common.table
+  in
+  let csv1 = table_csv 1 in
+  let csv4 = table_csv 4 in
+  Exec.set_default_jobs saved;
+  checks "E4 table, -j 1 vs -j 4" csv1 csv4
+
+let qcheck_par_map_matches_list_map =
+  QCheck.Test.make ~count:100 ~name:"par_map f == List.map f"
+    QCheck.(pair (small_list int) (int_range 1 8))
+    (fun (xs, jobs) ->
+      Exec.par_map ~jobs (fun x -> (2 * x) - 1) xs
+      = List.map (fun x -> (2 * x) - 1) xs)
+
+let suite =
+  [
+    Alcotest.test_case "order-preserving merge" `Quick test_order_preserving;
+    Alcotest.test_case "worker-count independence" `Quick
+      test_worker_count_independence;
+    Alcotest.test_case "exception propagation" `Quick test_exception_propagation;
+    Alcotest.test_case "empty and singleton" `Quick test_empty_and_singleton;
+    Alcotest.test_case "nested par_map" `Quick test_nested;
+    Alcotest.test_case "default jobs" `Quick test_default_jobs;
+    Alcotest.test_case "par_map_trials deterministic" `Quick
+      test_par_map_trials_deterministic;
+    QCheck_alcotest.to_alcotest qcheck_par_map_matches_list_map;
+    Alcotest.test_case "E4 tables byte-identical across -j" `Slow
+      test_experiment_table_byte_identical;
+  ]

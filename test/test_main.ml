@@ -2,6 +2,7 @@ let () =
   Alcotest.run "nowlib"
     [
       ("prng", Test_prng.suite);
+      ("exec", Test_exec.suite);
       ("metrics", Test_metrics.suite);
       ("graph", Test_graph.suite);
       ("simkernel", Test_simkernel.suite);
