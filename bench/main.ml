@@ -216,6 +216,81 @@ let micro_tests () =
   in
   [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; f1; f2; a1; a2 ]
 
+(* ------------------------------------------------------------------ *)
+(* Per-experiment primitive breakdown (trace collector)                 *)
+(* ------------------------------------------------------------------ *)
+
+(* The dominant operation of each experiment family, run once on a small
+   seeded fixture under the trace collector; the rows show which
+   primitives the operation spends its message budget on.  Sequential and
+   fully seeded, so the table is byte-identical across runs and -j values
+   (the CI determinism gate diffs it along with the experiment tables). *)
+let breakdown_ops =
+  [
+    ( "E1/E2",
+      "exchange(C)",
+      fun () ->
+        let engine = small_engine () in
+        let tbl = Engine.table engine in
+        let cid = Now_core.Cluster_table.uniform_cluster tbl (Rng.of_int 1) in
+        ignore (Engine.exchange_cluster engine cid) );
+    ( "E5/A2",
+      "randCl (exact)",
+      fun () ->
+        let engine = small_engine ~walk_mode:Params.Exact_walk () in
+        ignore (Engine.rand_cl engine ()) );
+    ( "E7/F1",
+      "join+leave",
+      fun () ->
+        let engine = small_engine () in
+        ignore (Engine.join engine Node.Honest);
+        ignore (Engine.leave engine (Engine.random_node engine)) );
+    ( "F2",
+      "msg exchange(x)",
+      fun () ->
+        let cfg =
+          Cluster.Config.build_uniform ~rng:(Rng.of_int 12) ~n_clusters:4
+            ~cluster_size:9 ~byz_per_cluster:2 ~overlay_degree:3 ()
+        in
+        match Cluster.Exchange.exchange_node cfg ~node:3 with
+        | Ok _ | Error _ -> () );
+    ( "E12",
+      "msg join+leave",
+      fun () ->
+        let cfg =
+          Cluster.Config.build_uniform ~rng:(Rng.of_int 47) ~n_clusters:5
+            ~cluster_size:10 ~byz_per_cluster:1 ~overlay_degree:3 ()
+        in
+        (match Cluster.Ops.join cfg ~node:500_001 ~contact:0 () with
+        | Ok _ | Error _ -> ());
+        match Cluster.Ops.leave cfg ~node:500_001 () with
+        | Ok _ | Error _ -> () );
+  ]
+
+let run_breakdown () =
+  let table =
+    Metrics.Table.create
+      ~title:"primitive breakdown per experiment (top 3 by self messages)"
+      ~columns:
+        [ "experiment"; "operation"; "primitive"; "spans"; "self msgs"; "self rounds" ]
+  in
+  List.iter
+    (fun (experiment, op, f) ->
+      let (), dump = Trace.profiled f in
+      let rows = Trace.Report.table_rows (Trace.Report.of_dump dump) in
+      List.iteri
+        (fun i (name, spans, self_msgs, self_rounds) ->
+          if i < 3 then
+            Metrics.Table.add_row table
+              [
+                Metrics.Table.S experiment; Metrics.Table.S op;
+                Metrics.Table.S name; Metrics.Table.I spans;
+                Metrics.Table.I self_msgs; Metrics.Table.I self_rounds;
+              ])
+        rows)
+    breakdown_ops;
+  Metrics.Table.print table
+
 let run_micro () =
   print_endline "== Bechamel micro-benchmarks (one per experiment) ==";
   let tests = micro_tests () in
@@ -295,5 +370,6 @@ let () =
   let ok = List.length (List.filter (fun r -> r.Harness.Common.ok) results) in
   Printf.printf "==> %d/%d experiments reproduce the paper's shape.\n\n%!" ok
     (List.length results);
+  run_breakdown ();
   if not skip_micro then run_micro ();
   if ok < List.length results then exit 1

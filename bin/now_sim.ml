@@ -4,6 +4,7 @@
      experiments   run the paper-reproduction experiment suite (E1..E12, F1-F2, A1-A2)
      churn         run a free-form adversarial churn simulation
      resume        resume a churn simulation from a saved snapshot
+     trace         record a deterministic trace + per-primitive profile
      init          run only the initialisation phase and report its cost *)
 
 open Cmdliner
@@ -281,6 +282,157 @@ let resume_cmd =
     (Cmd.info "resume" ~doc:"Resume a churn simulation from a saved snapshot.")
     term
 
+(* ---------------- trace ---------------- *)
+
+(* One state-level cell: a small Exact_walk engine driven through paired
+   joins and leaves — exercises the randcl/split/merge/exchange spans and
+   the OVER edge points. *)
+let trace_state_cell ~seed ~steps i =
+  let cell_seed = seed + (101 * (i + 1)) in
+  let params =
+    make_params ~n_max:(1 lsl 10) ~k:8 ~tau:0.15 ~exact_walk:true
+      ~no_shuffle:false
+  in
+  let engine = make_engine ~seed:cell_seed ~params ~n0:240 ~tau:0.15 in
+  for _ = 1 to steps do
+    ignore (Engine.join engine Node.Honest);
+    ignore (Engine.leave engine (Engine.random_node engine))
+  done;
+  Metrics.Ledger.total_messages (Engine.ledger engine)
+
+(* One message-level cell: real per-node messages on the simulation kernel
+   — exercises the randnum/walk.token/exchange/join/leave spans and, with
+   --net-detail, the per-message net.* points. *)
+let trace_msg_cell ~seed ~steps i =
+  let cell_seed = seed + (401 * (i + 1)) in
+  let rng = Rng.of_int cell_seed in
+  let ledger = Metrics.Ledger.create () in
+  let n_clusters = 6 in
+  let cfg =
+    Cluster.Config.build_uniform ~rng ~ledger ~n_clusters ~cluster_size:16
+      ~byz_per_cluster:2 ~overlay_degree:3 ()
+  in
+  for s = 1 to steps do
+    match Cluster.Walk.rand_cl cfg ~start:(s mod n_clusters) with
+    | Ok _ -> ()
+    | Error _ -> failwith "trace: message-level walk failed"
+  done;
+  (match Cluster.Exchange.exchange_all cfg ~cluster:0 with
+  | Ok _ -> ()
+  | Error _ -> failwith "trace: message-level exchange failed");
+  let probe = 1_000_000 + cell_seed in
+  (match Cluster.Ops.join cfg ~node:probe ~contact:0 () with
+  | Ok _ -> ()
+  | Error _ -> failwith "trace: message-level join failed");
+  (match Cluster.Ops.leave cfg ~node:probe () with
+  | Ok _ -> ()
+  | Error _ -> failwith "trace: message-level leave failed");
+  Metrics.Ledger.total_messages ledger
+
+let write_file path data =
+  let oc = open_out path in
+  output_string oc data;
+  close_out oc
+
+let trace_cmd =
+  let scenario_t =
+    let scenario_conv =
+      Arg.enum [ ("mixed", `Mixed); ("state", `State); ("msg", `Msg) ]
+    in
+    Arg.(
+      value & pos 0 scenario_conv `Mixed
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "What to trace: $(b,state) (engine cells), $(b,msg) \
+             (message-level kernel cells) or $(b,mixed) (alternating; \
+             default).")
+  in
+  let out_t =
+    Arg.(
+      value & opt string "trace.jsonl"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSONL trace to FILE.")
+  in
+  let chrome_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Also write a Chrome trace_event JSON to FILE (load in Perfetto \
+             or chrome://tracing).")
+  in
+  let cells_t =
+    Arg.(
+      value & opt int 4
+      & info [ "cells" ] ~docv:"CELLS"
+          ~doc:
+            "Independent simulation cells, fanned out on the Exec pool; \
+             the merged trace is byte-identical for any $(b,-j).")
+  in
+  let trace_steps_t =
+    Arg.(
+      value & opt int 12
+      & info [ "steps" ] ~docv:"STEPS" ~doc:"Operations per cell.")
+  in
+  let net_detail_t =
+    Arg.(
+      value & flag
+      & info [ "net-detail" ]
+          ~doc:
+            "Also record one point per kernel message, round boundary and \
+             walk hop (voluminous).")
+  in
+  let run scenario out chrome cells steps net_detail seed jobs =
+    setup_jobs jobs;
+    if cells < 1 then `Error (true, "need at least one cell")
+    else begin
+      Trace.start ~net_detail ();
+      let cell i =
+        match scenario with
+        | `State -> trace_state_cell ~seed ~steps i
+        | `Msg -> trace_msg_cell ~seed ~steps i
+        | `Mixed ->
+          if i mod 2 = 0 then trace_state_cell ~seed ~steps i
+          else trace_msg_cell ~seed ~steps i
+      in
+      let totals = Exec.par_map cell (List.init cells (fun i -> i)) in
+      let dump = Trace.stop () in
+      write_file out (Trace.to_jsonl dump);
+      (match chrome with
+      | None -> ()
+      | Some path -> write_file path (Trace.to_chrome dump));
+      let items = Trace.items dump in
+      let spans =
+        List.length
+          (List.filter (function Trace.Span _ -> true | Trace.Mark _ -> false) items)
+      in
+      let scenario_name =
+        match scenario with `Mixed -> "mixed" | `State -> "state" | `Msg -> "msg"
+      in
+      Printf.printf
+        "scenario %s: %d cells x %d steps, %d simulated messages\n\
+         trace: %d spans, %d items, %d dropped -> %s%s\n\n"
+        scenario_name cells steps
+        (List.fold_left ( + ) 0 totals)
+        spans (List.length items) dump.Trace.dropped out
+        (match chrome with None -> "" | Some p -> Printf.sprintf " (+ %s)" p);
+      print_string (Trace.Report.render (Trace.Report.of_dump dump));
+      `Ok ()
+    end
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ scenario_t $ out_t $ chrome_t $ cells_t $ trace_steps_t
+       $ net_detail_t $ seed_t $ jobs_t))
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Trace a deterministic scenario and print the per-primitive \
+          profile report.")
+    term
+
 (* ---------------- init ---------------- *)
 
 let init_cmd =
@@ -308,4 +460,7 @@ let init_cmd =
 let () =
   let doc = "NOW/OVER — Byzantine-tolerant clustering for highly dynamic networks" in
   let info = Cmd.info "now_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ experiments_cmd; churn_cmd; resume_cmd; init_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ experiments_cmd; churn_cmd; resume_cmd; trace_cmd; init_cmd ]))

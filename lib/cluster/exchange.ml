@@ -14,8 +14,7 @@ let charge_view_update cfg cluster =
   Ledger.charge (Config.ledger cfg) ~label:"exchange.view_update" ~messages:!messages
     ~rounds:1
 
-let exchange_node ?duration cfg ~node =
-  let home = Config.cluster_of cfg node in
+let exchange_node_session ?duration cfg ~node ~home =
   match Walk.rand_cl ?duration cfg ~start:home with
   | Error e -> Error e
   | Ok { selected; _ } ->
@@ -39,7 +38,17 @@ let exchange_node ?duration cfg ~node =
       Ok selected
     end
 
-let exchange_all ?duration cfg ~cluster =
+let exchange_node ?duration cfg ~node =
+  let home = Config.cluster_of cfg node in
+  let ledger = Config.ledger cfg in
+  Trace.with_span
+    ~attrs:[ ("home", home); ("node", node) ]
+    ~ledger
+    ~time:(Metrics.Ledger.total_rounds ledger)
+    Trace.Msg "exchange.node"
+    (fun () -> exchange_node_session ?duration cfg ~node ~home)
+
+let exchange_all_session ?duration cfg ~cluster =
   let snapshot = Config.members cfg cluster in
   let rec go nodes touched =
     match nodes with
@@ -57,3 +66,12 @@ let exchange_all ?duration cfg ~cluster =
     let touched = List.sort_uniq compare touched in
     List.iter (charge_view_update cfg) (cluster :: touched);
     Ok touched
+
+let exchange_all ?duration cfg ~cluster =
+  let ledger = Config.ledger cfg in
+  Trace.with_span
+    ~attrs:[ ("cluster", cluster) ]
+    ~ledger
+    ~time:(Metrics.Ledger.total_rounds ledger)
+    Trace.Msg "exchange"
+    (fun () -> exchange_all_session ?duration cfg ~cluster)

@@ -22,7 +22,15 @@ let collaborative_shuffle cfg ~cluster arr =
     arr.(j) <- tmp
   done
 
-let split cfg ~cluster ~fresh_cid ~overlay_edges =
+(* Each public operation runs under a Msg-layer trace span; the logical
+   time stamp is the ledger's running round total at entry. *)
+let op_span cfg name attrs f =
+  let ledger = Config.ledger cfg in
+  Trace.with_span ~attrs ~ledger
+    ~time:(Metrics.Ledger.total_rounds ledger)
+    Trace.Msg name f
+
+let split_session cfg ~cluster ~fresh_cid ~overlay_edges =
   let members = Array.of_list (Config.members cfg cluster) in
   collaborative_shuffle cfg ~cluster members;
   let half = Array.length members / 2 in
@@ -36,8 +44,13 @@ let split cfg ~cluster ~fresh_cid ~overlay_edges =
       match Walk.rand_cl cfg ~start:cluster with
       | Error e -> Error e
       | Ok { Walk.selected; _ } ->
-        if selected <> fresh_cid then
-          ignore (Dsgraph.Graph.add_edge overlay fresh_cid selected);
+        if selected <> fresh_cid then begin
+          if Dsgraph.Graph.add_edge overlay fresh_cid selected then
+            Trace.point
+              ~attrs:[ ("dst", selected); ("src", fresh_cid) ]
+              ~time:(Metrics.Ledger.total_rounds (Config.ledger cfg))
+              Trace.Msg "over.edge_add"
+        end;
         wire (budget - 1)
   in
   match wire (8 * (overlay_edges + 1)) with
@@ -50,7 +63,12 @@ let split cfg ~cluster ~fresh_cid ~overlay_edges =
       ~rounds:1;
     Ok fresh_cid
 
-let merge cfg ~cluster =
+let split cfg ~cluster ~fresh_cid ~overlay_edges =
+  op_span cfg "split"
+    [ ("cluster", cluster); ("fresh", fresh_cid) ]
+    (fun () -> split_session cfg ~cluster ~fresh_cid ~overlay_edges)
+
+let merge_session cfg ~cluster =
   let rec pick_victim budget =
     if budget = 0 then Error `Too_many_restarts
     else
@@ -72,7 +90,12 @@ let merge cfg ~cluster =
     | Ok _ -> Ok victim
     | Error e -> Error e)
 
-let join cfg ?byzantine ?duration ~node ~contact () =
+let merge cfg ~cluster =
+  op_span cfg "merge"
+    [ ("cluster", cluster) ]
+    (fun () -> merge_session cfg ~cluster)
+
+let join_session cfg ?byzantine ?duration ~node ~contact () =
   match Walk.rand_cl ?duration cfg ~start:contact with
   | Error e -> Error e
   | Ok { Walk.selected; _ } ->
@@ -89,7 +112,12 @@ let join cfg ?byzantine ?duration ~node ~contact () =
     | Ok _ -> Ok selected
     | Error e -> Error e)
 
-let leave cfg ?duration ~node () =
+let join cfg ?byzantine ?duration ~node ~contact () =
+  op_span cfg "join"
+    [ ("contact", contact); ("node", node) ]
+    (fun () -> join_session cfg ?byzantine ?duration ~node ~contact ())
+
+let leave_session cfg ?duration ~node () =
   let home = Config.cluster_of cfg node in
   Config.remove_node cfg ~node;
   (* Members of the cluster drop the departed node from their views and
@@ -110,3 +138,9 @@ let leave cfg ?duration ~node () =
         | Error e -> Error e)
     in
     cascade touched
+
+let leave cfg ?duration ~node () =
+  let home = Config.cluster_of cfg node in
+  op_span cfg "leave"
+    [ ("home", home); ("node", node) ]
+    (fun () -> leave_session cfg ?duration ~node ())

@@ -19,11 +19,7 @@ let mix contributions ~range =
   in
   Int64.to_int (Int64.rem (Int64.logand acc Int64.max_int) (Int64.of_int range))
 
-let run cfg ~cluster ~range =
-  if range <= 0 then invalid_arg "Randnum.run: range must be positive";
-  let members = Config.members cfg cluster in
-  let n = List.length members in
-  if n = 0 then invalid_arg "Randnum.run: empty cluster";
+let run_session cfg ~range ~members ~n =
   let byz_members = List.filter (Config.is_byzantine cfg) members in
   let secure = 3 * List.length byz_members < 2 * n in
   (* Message-level session: round 1 = escrow broadcast, round 2 =
@@ -61,3 +57,16 @@ let run cfg ~cluster ~range =
     in
     { value = mix sorted ~range; secure }
   end
+
+let run cfg ~cluster ~range =
+  if range <= 0 then invalid_arg "Randnum.run: range must be positive";
+  let members = Config.members cfg cluster in
+  let n = List.length members in
+  if n = 0 then invalid_arg "Randnum.run: empty cluster";
+  let ledger = Config.ledger cfg in
+  Trace.with_span
+    ~attrs:[ ("cluster", cluster); ("size", n) ]
+    ~ledger
+    ~time:(Metrics.Ledger.total_rounds ledger)
+    Trace.Msg "randnum"
+    (fun () -> run_session cfg ~range ~members ~n)

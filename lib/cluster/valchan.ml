@@ -25,7 +25,7 @@ type result = {
   unanimous : int option;
 }
 
-let transmit cfg ~src_cluster ~dst_cluster ?(label = "valchan") ~payload () =
+let transmit_session cfg ~src_cluster ~dst_cluster ~label ~payload =
   let src_members = Config.members cfg src_cluster in
   let dst_members = Config.members cfg dst_cluster in
   let net = Net.create ~ledger:(Config.ledger cfg) () in
@@ -81,3 +81,15 @@ let transmit cfg ~src_cluster ~dst_cluster ?(label = "valchan") ~payload () =
       else None
   in
   { verdicts; unanimous }
+
+let transmit cfg ~src_cluster ~dst_cluster ?(label = "valchan") ~payload () =
+  let ledger = Config.ledger cfg in
+  (* The span is named after the channel's label ("walk.token",
+     "exchange.announce", ...) so the profile separates the transfer's
+     uses; "valchan." prefixes the default for the anonymous case. *)
+  Trace.with_span
+    ~attrs:[ ("dst", dst_cluster); ("src", src_cluster) ]
+    ~ledger
+    ~time:(Metrics.Ledger.total_rounds ledger)
+    Trace.Msg label
+    (fun () -> transmit_session cfg ~src_cluster ~dst_cluster ~label ~payload)

@@ -17,7 +17,7 @@ let default_duration cfg =
   let mean_degree = Float.max 1.0 (Graph.mean_degree g) in
   2.0 *. (log (float_of_int n) /. log 2.0) /. mean_degree
 
-let rand_cl ?duration ?(max_restarts = 1000) cfg ~start =
+let rand_cl_session ?duration ?(max_restarts = 1000) cfg ~start =
   let overlay = Config.overlay cfg in
   let duration = match duration with Some d -> d | None -> default_duration cfg in
   let max_size = float_of_int (Config.max_cluster_size cfg) in
@@ -57,6 +57,15 @@ let rand_cl ?duration ?(max_restarts = 1000) cfg ~start =
   match hop start duration 0 0 with
   | result -> result
   | exception Invalid c -> Error (`Validation_failed c)
+
+let rand_cl ?duration ?max_restarts cfg ~start =
+  let ledger = Config.ledger cfg in
+  Trace.with_span
+    ~attrs:[ ("start", start) ]
+    ~ledger
+    ~time:(Metrics.Ledger.total_rounds ledger)
+    Trace.Msg "randcl"
+    (fun () -> rand_cl_session ?duration ?max_restarts cfg ~start)
 
 let pick_member cfg ~cluster =
   let members = Config.members cfg cluster in

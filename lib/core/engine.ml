@@ -124,6 +124,9 @@ let rand_cl_exact t ~start =
   let messages = ref 0 and hops = ref 0 and restarts = ref 0 in
   let on_hop u v =
     incr hops;
+    if Trace.net_detail () then
+      Trace.point ~attrs:[ ("dst", v); ("src", u) ] ~time:t.time Trace.State
+        "randcl.hop";
     messages := !messages + Cost_model.hop_messages ~src:(size t u) ~dst:(size t v)
   in
   let on_restart v =
@@ -174,19 +177,27 @@ let rand_cl_direct t =
   charge t ~label:"randcl" ~messages:!messages ~rounds;
   { wr_cluster = selected; wr_hops = !hops; wr_restarts = !restarts; wr_rounds = rounds }
 
+(* State-level spans stamp the engine's own clock ([t.time]) and charge
+   deltas off the engine ledger, so E5-style cross checks can line trace
+   output up against {!Cluster}'s message-level spans. *)
+let state_span t name attrs f =
+  Trace.with_span ~attrs ~ledger:t.ledger ~time:t.time Trace.State name f
+
 let rand_cl_internal t acc ~start =
   if n_clusters t <= 1 then
     { wr_cluster = start; wr_hops = 0; wr_restarts = 0; wr_rounds = 0 }
-  else begin
-    let wr =
-      match t.params.Params.walk_mode with
-      | Params.Exact_walk -> rand_cl_exact t ~start
-      | Params.Direct_sample -> rand_cl_direct t
-    in
-    acc.a_walks <- acc.a_walks + 1;
-    acc.a_hops <- acc.a_hops + wr.wr_hops;
-    wr
-  end
+  else
+    state_span t "randcl"
+      [ ("start", start) ]
+      (fun () ->
+        let wr =
+          match t.params.Params.walk_mode with
+          | Params.Exact_walk -> rand_cl_exact t ~start
+          | Params.Direct_sample -> rand_cl_direct t
+        in
+        acc.a_walks <- acc.a_walks + 1;
+        acc.a_hops <- acc.a_hops + wr.wr_hops;
+        wr)
 
 (* ------------------------------------------------------------------ *)
 (* exchange                                                            *)
@@ -246,6 +257,9 @@ let over_pick t acc () =
   (rand_cl_internal t acc ~start).wr_cluster
 
 let rec split t acc cid =
+  state_span t "split" [ ("cluster", cid) ] (fun () -> split_run t acc cid)
+
+and split_run t acc cid =
   let s = size t cid in
   let members = Array.of_list (Cluster_table.members t.tbl cid) in
   (* Random partition computed with randNum (collaborative ordering). *)
@@ -280,7 +294,10 @@ let sum_neighbor_view_cost_absent t cid =
   ignore cid;
   Params.target_cluster_size t.params * Params.target_cluster_size t.params
 
-let merge t acc cid =
+let rec merge t acc cid =
+  state_span t "merge" [ ("cluster", cid) ] (fun () -> merge_run t acc cid)
+
+and merge_run t acc cid =
   if n_clusters t <= 1 then t.merge_skips <- t.merge_skips + 1
   else begin
     acc.a_merges <- acc.a_merges + 1;
@@ -384,26 +401,30 @@ let warn_on_violation t =
           (Cluster_table.violation_events t.tbl))
 
 let join t honesty =
-  let acc = fresh_acc () in
-  let snapshot = Ledger.snapshot t.ledger in
-  flush_rejoins t acc;
-  let node = Node.Roster.fresh t.roster honesty in
-  join_existing t acc node;
-  t.time <- t.time + 1;
-  t.totals <- { t.totals with total_joins = t.totals.total_joins + 1 };
-  warn_on_violation t;
-  (node, finish t acc snapshot)
+  state_span t "join"
+    [ ("byz", if Node.is_byzantine honesty then 1 else 0) ]
+    (fun () ->
+      let acc = fresh_acc () in
+      let snapshot = Ledger.snapshot t.ledger in
+      flush_rejoins t acc;
+      let node = Node.Roster.fresh t.roster honesty in
+      join_existing t acc node;
+      t.time <- t.time + 1;
+      t.totals <- { t.totals with total_joins = t.totals.total_joins + 1 };
+      warn_on_violation t;
+      (node, finish t acc snapshot))
 
 let exchange_cluster t cid =
   if not (Cluster_table.exists t.tbl cid) then raise Not_found;
-  let acc = fresh_acc () in
-  let snapshot = Ledger.snapshot t.ledger in
-  ignore (exchange_all t acc cid);
-  finish t acc snapshot
+  state_span t "exchange"
+    [ ("cluster", cid) ]
+    (fun () ->
+      let acc = fresh_acc () in
+      let snapshot = Ledger.snapshot t.ledger in
+      ignore (exchange_all t acc cid);
+      finish t acc snapshot)
 
-let leave t node =
-  if not (Node.Roster.is_present t.roster node) then
-    invalid_arg "Engine.leave: node is not present";
+let leave_run t node =
   let acc = fresh_acc () in
   let snapshot = Ledger.snapshot t.ledger in
   flush_rejoins t acc;
@@ -439,6 +460,11 @@ let leave t node =
   t.totals <- { t.totals with total_leaves = t.totals.total_leaves + 1 };
   warn_on_violation t;
   finish t acc snapshot
+
+let leave t node =
+  if not (Node.Roster.is_present t.roster node) then
+    invalid_arg "Engine.leave: node is not present";
+  state_span t "leave" [ ("node", node) ] (fun () -> leave_run t node)
 
 (* ------------------------------------------------------------------ *)
 (* Initialisation phase (Section 3.2)                                  *)

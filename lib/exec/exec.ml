@@ -48,6 +48,14 @@ let par_map ?jobs f xs =
   if n <= 1 then List.map f xs
   else begin
     init_spare ();
+    (* Trace integration: each task records into its own buffer, merged in
+       submission order after the join, so the event stream equals the
+       sequential run's for any worker count.  [tracing] is latched here:
+       collectors are only installed/removed between par_map calls. *)
+    let tracing = Trace.active () in
+    let trace_bufs =
+      if tracing then Array.init n (fun _ -> Trace.task_buf ()) else [||]
+    in
     (* With an explicit ?jobs the caller knows best: spawn up to jobs - 1
        workers unconditionally.  With the default, spawning additionally
        requires a slot from the global pool, which is what bounds the
@@ -60,9 +68,10 @@ let par_map ?jobs f xs =
     let results = Array.make n Empty in
     let next = Atomic.make 0 in
     let run i =
-      results.(i) <-
-        (try Ok (f tasks.(i))
-         with e -> Err (e, Printexc.get_raw_backtrace ()))
+      let exec () =
+        try Ok (f tasks.(i)) with e -> Err (e, Printexc.get_raw_backtrace ())
+      in
+      results.(i) <- (if tracing then Trace.run_in_buf trace_bufs.(i) exec else exec ())
     in
     let rec drain () =
       let i = Atomic.fetch_and_add next 1 in
@@ -95,6 +104,7 @@ let par_map ?jobs f xs =
     in
     caller_loop ();
     List.iter Domain.join !workers;
+    if tracing then Trace.merge trace_bufs;
     (* Merge in submission order; re-raise the lowest-index failure so the
        observable exception is scheduling-independent. *)
     Array.iter

@@ -28,7 +28,12 @@
     caller that cannot spawn executes tasks itself and re-checks the
     budget between tasks, so capacity released by sibling experiments
     finishing is picked up mid-experiment.  An explicit [?jobs]
-    bypasses the budget for that call. *)
+    bypasses the budget for that call.
+
+    When a {!Trace} collector is active, every task records trace events
+    into its own buffer and the buffers are appended to the caller's in
+    submission order after the join — the trace stream, like the result
+    list, is byte-identical for any worker count. *)
 
 val recommended_jobs : unit -> int
 (** [Domain.recommended_domain_count ()] — what [-j] defaults to. *)

@@ -50,8 +50,13 @@ let msg_level_costs ~seed ~n_max ~walks =
   | Ok _ -> ()
   | Error _ -> failwith "E5: message-level exchange failed");
   let exch = Ledger.since ledger before in
-  (* Full message-level operations (Ops composes the primitives). *)
+  (* Full message-level operations (Ops composes the primitives).  Both
+     engines charge "join.insert", "leave.notify" and
+     "exchange.view_update" from the same cost formulas, so their per-op
+     label deltas are the finest-grained point of comparison. *)
+  let lm label = Ledger.label_messages ledger label in
   let before = Ledger.snapshot ledger in
+  let ji0 = lm "join.insert" and vu0 = lm "exchange.view_update" in
   (match
      Cluster.Ops.join cfg ~node:(1_000_000 + n_max)
        ~contact:(Rng.int rng n_clusters) ()
@@ -59,37 +64,58 @@ let msg_level_costs ~seed ~n_max ~walks =
   | Ok _ -> ()
   | Error _ -> failwith "E5: message-level join failed");
   let join_cost = Ledger.since ledger before in
+  let join_insert = lm "join.insert" - ji0 in
+  let join_view_update = lm "exchange.view_update" - vu0 in
   let before = Ledger.snapshot ledger in
+  let ln0 = lm "leave.notify" in
   (match Cluster.Ops.leave cfg ~node:(1_000_000 + n_max) () with
   | Ok _ -> ()
   | Error _ -> failwith "E5: message-level leave failed");
   let leave_cost = Ledger.since ledger before in
+  let leave_notify = lm "leave.notify" - ln0 in
   ( Metrics.Stats.mean randcl_msgs,
     Metrics.Stats.mean randcl_rounds,
     exch.Ledger.messages,
     exch.Ledger.rounds,
     join_cost.Ledger.messages,
-    leave_cost.Ledger.messages )
+    leave_cost.Ledger.messages,
+    (join_insert, join_view_update, leave_notify) )
 
 let state_level_costs ~seed ~n_max ~ops =
   let engine =
     Common.default_engine ~seed ~k ~walk_mode:Now_core.Params.Exact_walk ~n_max
       ~n0:(n_max / 2) ()
   in
+  let ledger = Engine.ledger engine in
+  let lm label = Ledger.label_messages ledger label in
   let join_msgs = Metrics.Stats.create () and join_rounds = Metrics.Stats.create () in
   let leave_msgs = Metrics.Stats.create () and leave_rounds = Metrics.Stats.create () in
   let randcl_msgs = Metrics.Stats.create () in
+  (* Per-op deltas of the labels both engines charge from the same
+     formulas (see msg_level_costs). *)
+  let join_insert = ref 0 and join_view_update = ref 0 and leave_notify = ref 0 in
   for _ = 1 to ops do
+    let ji0 = lm "join.insert" and vu0 = lm "exchange.view_update" in
     let _, r = Engine.join engine Now_core.Node.Honest in
+    join_insert := !join_insert + lm "join.insert" - ji0;
+    join_view_update := !join_view_update + lm "exchange.view_update" - vu0;
     Metrics.Stats.add_int join_msgs r.Engine.messages;
     Metrics.Stats.add_int join_rounds r.Engine.rounds;
+    let ln0 = lm "leave.notify" in
     let r = Engine.leave engine (Engine.random_node engine) in
+    leave_notify := !leave_notify + lm "leave.notify" - ln0;
     Metrics.Stats.add_int leave_msgs r.Engine.messages;
     Metrics.Stats.add_int leave_rounds r.Engine.rounds;
     let _, r = Engine.rand_cl engine () in
     Metrics.Stats.add_int randcl_msgs r.Engine.messages
   done;
-  (join_msgs, join_rounds, leave_msgs, leave_rounds, randcl_msgs)
+  let per_op v = float_of_int !v /. float_of_int ops in
+  ( join_msgs,
+    join_rounds,
+    leave_msgs,
+    leave_rounds,
+    randcl_msgs,
+    (per_op join_insert, per_op join_view_update, per_op leave_notify) )
 
 let run ?(mode = Common.Quick) ?(seed = 505L) () =
   let table =
@@ -110,7 +136,7 @@ let run ?(mode = Common.Quick) ?(seed = 505L) () =
      are merged in N order, identical for any -j. *)
   let msg_results =
     List.map
-      (fun (n_max, (rc_m, rc_r, ex_m, ex_r, join_m, leave_m)) ->
+      (fun (n_max, (rc_m, rc_r, ex_m, ex_r, join_m, leave_m, labels)) ->
         Table.add_row table
           [ Table.S "msg-level"; Table.I n_max; Table.S "randCl"; Table.F rc_m; Table.F rc_r ];
         Table.add_row table
@@ -122,7 +148,7 @@ let run ?(mode = Common.Quick) ?(seed = 505L) () =
           [ Table.S "msg-level"; Table.I n_max; Table.S "join"; Table.I join_m; Table.S "-" ];
         Table.add_row table
           [ Table.S "msg-level"; Table.I n_max; Table.S "leave"; Table.I leave_m; Table.S "-" ];
-        (n_max, rc_m))
+        (n_max, rc_m, labels))
       (Exec.par_map
          (fun n_max -> (n_max, msg_level_costs ~seed ~n_max ~walks))
          msg_ns)
@@ -135,8 +161,10 @@ let run ?(mode = Common.Quick) ?(seed = 505L) () =
   in
   let ops = Common.scale mode ~quick:8 ~full:30 in
   let per_op = Hashtbl.create 8 in
+  let state_labels = Hashtbl.create 8 in
   List.iter
-    (fun (n_max, (jm, jr, lm, lr, rc)) ->
+    (fun (n_max, (jm, jr, lm, lr, rc, labels)) ->
+      Hashtbl.replace state_labels n_max labels;
       let add op stats_m stats_r =
         Table.add_row table
           [
@@ -190,8 +218,8 @@ let run ?(mode = Common.Quick) ?(seed = 505L) () =
   fit_for "leave" 5.0 15.0;
   (* ---- cross-validation of the two engines ---- *)
   List.iter
-    (fun (n_max, msg_randcl) ->
-      match Hashtbl.find_opt per_op ("randCl", n_max) with
+    (fun (n_max, msg_randcl, (m_ji, m_vu, m_ln)) ->
+      (match Hashtbl.find_opt per_op ("randCl", n_max) with
       | None -> ()
       | Some state_randcl ->
         let ratio = state_randcl /. Float.max 1.0 msg_randcl in
@@ -200,7 +228,26 @@ let run ?(mode = Common.Quick) ?(seed = 505L) () =
             "cross-validation N=%d: state/message randCl message ratio = %.2f"
             n_max ratio
           :: !notes;
-        if ratio < 0.2 || ratio > 5.0 then all_ok := false)
+        if ratio < 0.2 || ratio > 5.0 then all_ok := false);
+      (* Per-label comparison of the shared-formula ledger labels: both
+         engines charge these from the same cost expressions, so the
+         per-operation deltas must agree up to the engines' population
+         spread (they see different cluster geometries at equal N). *)
+      match Hashtbl.find_opt state_labels n_max with
+      | None -> ()
+      | Some (s_ji, s_vu, s_ln) ->
+        let check label msg_v state_v =
+          let ratio = state_v /. Float.max 1.0 (float_of_int msg_v) in
+          notes :=
+            Printf.sprintf
+              "cross-validation N=%d: per-op %s state/message ratio = %.2f"
+              n_max label ratio
+            :: !notes;
+          if ratio < 0.2 || ratio > 5.0 then all_ok := false
+        in
+        check "join.insert" m_ji s_ji;
+        check "exchange.view_update (per join)" m_vu s_vu;
+        check "leave.notify" m_ln s_ln)
     msg_results;
   notes :=
     "leave's cascade touches min(#C - 1, k log N) clusters; below the \

@@ -35,7 +35,9 @@ let fill_edges t v ~want ~pick =
   while Graph.degree t.g v < want && !budget > 0 do
     decr budget;
     let u = pick () in
-    if u <> v && Graph.has_vertex t.g u then ignore (Graph.add_edge t.g v u)
+    if u <> v && Graph.has_vertex t.g u then
+      if Graph.add_edge t.g v u then
+        Trace.point ~attrs:[ ("dst", u); ("src", v) ] Trace.State "over.edge_add"
   done
 
 (* Shed uniformly random excess edges of an over-full vertex. *)
@@ -44,7 +46,10 @@ let shed_excess t v =
   while Graph.degree t.g v > cap do
     match Graph.random_neighbor t.g t.rng v with
     | None -> ()
-    | Some u -> ignore (Graph.remove_edge t.g v u)
+    | Some u ->
+      if Graph.remove_edge t.g v u then
+        Trace.point ~attrs:[ ("dst", u); ("src", v) ] Trace.State
+          "over.edge_remove"
   done
 
 let refill t v ~pick =
@@ -53,22 +58,30 @@ let refill t v ~pick =
 
 let add_vertex t v ~pick =
   if Graph.has_vertex t.g v then invalid_arg "Over.add_vertex: vertex already present";
-  Graph.add_vertex t.g v;
-  let want = min (target_degree_now t) (n_vertices t - 1) in
-  fill_edges t v ~want ~pick;
-  (* Receiving clusters may now exceed the cap. *)
-  Graph.iter_neighbors t.g v (fun u -> shed_excess t u)
+  Trace.with_span
+    ~attrs:[ ("vertex", v) ]
+    Trace.State "over.add_vertex"
+    (fun () ->
+      Graph.add_vertex t.g v;
+      let want = min (target_degree_now t) (n_vertices t - 1) in
+      fill_edges t v ~want ~pick;
+      (* Receiving clusters may now exceed the cap. *)
+      Graph.iter_neighbors t.g v (fun u -> shed_excess t u))
 
 let remove_vertex t v ~pick =
-  if Graph.has_vertex t.g v then begin
-    let neighbors = Graph.neighbors t.g v in
-    Graph.remove_vertex t.g v;
-    let low = (target_degree_now t + 1) / 2 in
-    List.iter
-      (fun u ->
-        if Graph.has_vertex t.g u && Graph.degree t.g u < low then refill t u ~pick)
-      neighbors
-  end
+  if Graph.has_vertex t.g v then
+    Trace.with_span
+      ~attrs:[ ("vertex", v) ]
+      Trace.State "over.remove_vertex"
+      (fun () ->
+        let neighbors = Graph.neighbors t.g v in
+        Graph.remove_vertex t.g v;
+        let low = (target_degree_now t + 1) / 2 in
+        List.iter
+          (fun u ->
+            if Graph.has_vertex t.g u && Graph.degree t.g u < low then
+              refill t u ~pick)
+          neighbors)
 
 let init_erdos_renyi t ~vertices =
   if n_vertices t <> 0 then invalid_arg "Over.init_erdos_renyi: overlay not empty";

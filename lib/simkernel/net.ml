@@ -36,6 +36,9 @@ let send t ~src ~dst ?(label = "msg") msg =
   if not (is_alive t src) then invalid_arg "Net.send: sender is not alive";
   t.pending <- (src, dst, msg) :: t.pending;
   t.messages_sent <- t.messages_sent + 1;
+  if Trace.net_detail () then
+    Trace.point ~attrs:[ ("dst", dst); ("src", src) ] ~time:t.round Trace.Net
+      ("net.send." ^ label);
   Metrics.Ledger.charge t.ledger ~label ~messages:1 ~rounds:0
 
 let multicast t ~src ~dsts ?label msg =
@@ -53,6 +56,8 @@ let run_round t =
     (List.rev t.pending);
   t.pending <- [];
   t.round <- t.round + 1;
+  if Trace.net_detail () then
+    Trace.point ~attrs:[ ("round", t.round) ] ~time:t.round Trace.Net "net.round";
   Metrics.Ledger.charge t.ledger ~label:"round" ~messages:0 ~rounds:1;
   (* Execute handlers in id order; a stable sort on the (already
      send-ordered) inbox groups messages by sender. *)

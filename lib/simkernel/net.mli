@@ -15,7 +15,9 @@
 
     The kernel counts every message into a {!Metrics.Ledger.t}, which is
     how the message-level cost experiments (E5, E6) measure communication
-    complexity. *)
+    complexity.  When a {!Trace} collector with [net_detail] is active,
+    every send and round boundary additionally emits a trace point
+    ([net.send.<label>] / [net.round]). *)
 
 type 'msg t
 

@@ -4,6 +4,7 @@ let () =
       ("prng", Test_prng.suite);
       ("exec", Test_exec.suite);
       ("metrics", Test_metrics.suite);
+      ("trace", Test_trace.suite);
       ("graph", Test_graph.suite);
       ("simkernel", Test_simkernel.suite);
       ("agreement", Test_agreement.suite);

@@ -102,7 +102,10 @@ let test_ledger_basic () =
   checki "total messages" 16 (Ledger.total_messages l);
   checki "total rounds" 3 (Ledger.total_rounds l);
   checki "label a" 11 (Ledger.label_messages l "a");
+  checki "label a rounds" 2 (Ledger.label_rounds l "a");
+  checki "label b rounds" 1 (Ledger.label_rounds l "b");
   checki "unknown label" 0 (Ledger.label_messages l "zzz");
+  checki "unknown label rounds" 0 (Ledger.label_rounds l "zzz");
   checki "labels" 2 (List.length (Ledger.labels l))
 
 let test_ledger_snapshot () =
