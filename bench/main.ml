@@ -1,5 +1,5 @@
 (* Benchmark harness: regenerates every table/figure reproduction (the
-   experiment suite E1-E12, F1-F2 and ablations A1-A2 of DESIGN.md) and runs one Bechamel
+   experiment suite E1-E13, F1-F2 and ablations A1-A2 of DESIGN.md) and runs one Bechamel
    micro-benchmark per experiment, measuring the protocol operation at the
    heart of that experiment.
 
@@ -9,7 +9,7 @@
      -j N          worker domains for the Exec pool (default: available
                    cores; -j 1 reproduces the sequential run — tables are
                    byte-identical either way)
-     IDS           experiment ids (default: all of E1..E12 F1 F2 A1 A2) *)
+     IDS           experiment ids (default: all of E1..E13 F1 F2 A1 A2) *)
 
 open Bechamel
 
@@ -214,7 +214,18 @@ let micro_tests () =
         | Ok _ -> ()
         | Error _ -> ())
   in
-  [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; f1; f2; a1; a2 ]
+  (* E13: one validated transfer against an equivocating minority — the
+     fault-injection path of the message engine. *)
+  let e13 =
+    multiple_test ~name:"E13 validated transfer vs equivocating minority"
+      ~allocate:(fun () ->
+        Cluster.Config.build_uniform ~rng:(Rng.of_int 48)
+          ~behavior:(fun node -> Agreement.Byz_behavior.Equivocate (node + 1, node + 2))
+          ~n_clusters:2 ~cluster_size:15 ~byz_per_cluster:4 ~overlay_degree:1 ())
+      (fun cfg ->
+        ignore (Cluster.Valchan.transmit cfg ~src_cluster:0 ~dst_cluster:1 ~payload:7 ()))
+  in
+  [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; f1; f2; a1; a2 ]
 
 (* ------------------------------------------------------------------ *)
 (* Per-experiment primitive breakdown (trace collector)                 *)
@@ -265,6 +276,17 @@ let breakdown_ops =
         | Ok _ | Error _ -> ());
         match Cluster.Ops.leave cfg ~node:500_001 () with
         | Ok _ | Error _ -> () );
+    ( "E13",
+      "valchan vs byz",
+      fun () ->
+        let cfg =
+          Cluster.Config.build_uniform ~rng:(Rng.of_int 48)
+            ~behavior:(fun node ->
+              Agreement.Byz_behavior.Equivocate (node + 1, node + 2))
+            ~n_clusters:2 ~cluster_size:15 ~byz_per_cluster:4 ~overlay_degree:1 ()
+        in
+        ignore
+          (Cluster.Valchan.transmit cfg ~src_cluster:0 ~dst_cluster:1 ~payload:7 ()) );
   ]
 
 let run_breakdown () =
@@ -364,7 +386,7 @@ let () =
      gate diffs these outputs across -j values. *)
   Printf.printf
     "NOW/OVER reproduction bench — experiments %s in %s mode\n\n%!"
-    (match ids with [] -> "E1..E12, F1, F2, A1, A2" | _ -> String.concat ", " ids)
+    (match ids with [] -> "E1..E13, F1, F2, A1, A2" | _ -> String.concat ", " ids)
     (if full then "FULL" else "QUICK");
   let results = Harness.Registry.run_ids ~mode ids in
   let ok = List.length (List.filter (fun r -> r.Harness.Common.ok) results) in

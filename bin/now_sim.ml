@@ -1,9 +1,10 @@
 (* now_sim — command-line driver for the NOW/OVER reproduction.
 
    Sub-commands:
-     experiments   run the paper-reproduction experiment suite (E1..E12, F1-F2, A1-A2)
+     experiments   run the paper-reproduction experiment suite (E1..E13, F1-F2, A1-A2)
      churn         run a free-form adversarial churn simulation
      resume        resume a churn simulation from a saved snapshot
+     byz           inject a Byzantine behaviour into the message engine
      trace         record a deterministic trace + per-primitive profile
      init          run only the initialisation phase and report its cost *)
 
@@ -100,7 +101,7 @@ let experiments_cmd =
     Arg.(
       value & pos_all string []
       & info [] ~docv:"ID"
-          ~doc:"Experiment ids (E1..E12, F1, F2, A1, A2); default all.")
+          ~doc:"Experiment ids (E1..E13, F1, F2, A1, A2); default all.")
   in
   let full_t =
     Arg.(value & flag & info [ "full" ] ~doc:"EXPERIMENTS.md scale (slow).")
@@ -121,6 +122,14 @@ let experiments_cmd =
       `Ok ()
     end
     else begin
+    match List.filter (fun id -> Harness.Registry.find id = None) ids with
+    | _ :: _ as unknown ->
+      `Error
+        ( false,
+          Printf.sprintf "unknown experiment id(s): %s; available: %s"
+            (String.concat ", " unknown)
+            (String.concat ", " (List.map fst Harness.Registry.all)) )
+    | [] ->
     let mode = if full then Harness.Common.Full else Harness.Common.Quick in
     let results = Harness.Registry.run_ids ~mode ids in
     (match csv with
@@ -151,20 +160,18 @@ let experiments_cmd =
 (* ---------------- churn ---------------- *)
 
 let strategy_t =
-  let strategy_conv =
-    Arg.enum
-      [
-        ("random", `Random);
-        ("target", `Target);
-        ("dos", `Dos);
-        ("grow-shrink", `Grow_shrink);
-      ]
-  in
   Arg.(
-    value & opt strategy_conv `Random
+    value & opt string "random"
     & info [ "strategy" ] ~docv:"STRATEGY"
-        ~doc:"Adversary strategy: $(b,random), $(b,target), $(b,dos) or \
-              $(b,grow-shrink).")
+        ~doc:"Adversary strategy ($(b,--list-strategies) shows the set).")
+
+let list_strategies_t =
+  Arg.(
+    value & flag
+    & info [ "list-strategies" ] ~doc:"List the adversary strategies and exit.")
+
+let print_catalogue catalogue =
+  List.iter (fun (name, doc) -> Printf.printf "%-14s %s\n" name doc) catalogue
 
 let steps_t =
   Arg.(value & opt int 2000 & info [ "steps" ] ~docv:"STEPS" ~doc:"Time steps to run.")
@@ -175,12 +182,6 @@ let snapshot_out_t =
     & opt (some string) None
     & info [ "save-snapshot" ] ~docv:"FILE"
         ~doc:"Write the final engine state to FILE (resume with $(b,resume)).")
-
-let strategy_of = function
-  | `Random -> Adversary.Random_churn 0.5
-  | `Target -> Adversary.Target_cluster
-  | `Dos -> Adversary.Dos_honest
-  | `Grow_shrink steps -> Adversary.Grow_shrink (max 1 (steps / 4))
 
 let drive_and_report ~engine ~seed ~tau ~strategy ~steps ~snapshot_out =
   let driver =
@@ -222,25 +223,31 @@ let drive_and_report ~engine ~seed ~tau ~strategy ~steps ~snapshot_out =
 
 let churn_cmd =
   let run seed n_max n0 k tau exact_walk no_shuffle strategy steps verbose
-      snapshot_out =
-    setup_logs verbose;
-    let params = make_params ~n_max ~k ~tau ~exact_walk ~no_shuffle in
-    Printf.printf "parameters: %s\n" (Format.asprintf "%a" Params.pp params);
-    let engine = make_engine ~seed ~params ~n0 ~tau in
-    Printf.printf "initialised: n=%d clusters=%d min honest=%.3f\n%!"
-      (Engine.n_nodes engine) (Engine.n_clusters engine)
-      (Engine.min_honest_fraction engine);
-    let strategy =
-      match strategy with
-      | `Grow_shrink -> strategy_of (`Grow_shrink steps)
-      | (`Random | `Target | `Dos) as s -> strategy_of s
-    in
-    drive_and_report ~engine ~seed ~tau ~strategy ~steps ~snapshot_out
+      snapshot_out list_strategies =
+    if list_strategies then begin
+      print_catalogue Adversary.strategy_catalogue;
+      `Ok ()
+    end
+    else
+      match Adversary.strategy_of_name ~steps strategy with
+      | Error msg -> `Error (false, msg)
+      | Ok strategy ->
+        setup_logs verbose;
+        let params = make_params ~n_max ~k ~tau ~exact_walk ~no_shuffle in
+        Printf.printf "parameters: %s\n" (Format.asprintf "%a" Params.pp params);
+        let engine = make_engine ~seed ~params ~n0 ~tau in
+        Printf.printf "initialised: n=%d clusters=%d min honest=%.3f\n%!"
+          (Engine.n_nodes engine) (Engine.n_clusters engine)
+          (Engine.min_honest_fraction engine);
+        drive_and_report ~engine ~seed ~tau ~strategy ~steps ~snapshot_out;
+        `Ok ()
   in
   let term =
     Term.(
-      const run $ seed_t $ n_max_t $ n0_t $ k_t $ tau_t $ exact_walk_t
-      $ no_shuffle_t $ strategy_t $ steps_t $ verbose_t $ snapshot_out_t)
+      ret
+        (const run $ seed_t $ n_max_t $ n0_t $ k_t $ tau_t $ exact_walk_t
+       $ no_shuffle_t $ strategy_t $ steps_t $ verbose_t $ snapshot_out_t
+       $ list_strategies_t))
   in
   Cmd.v
     (Cmd.info "churn"
@@ -257,29 +264,170 @@ let resume_cmd =
       & info [ "snapshot" ] ~docv:"FILE" ~doc:"Snapshot written by $(b,churn --save-snapshot).")
   in
   let run seed snapshot_path strategy steps verbose snapshot_out =
-    setup_logs verbose;
-    let ic = open_in snapshot_path in
-    let len = in_channel_length ic in
-    let data = really_input_string ic len in
-    close_in ic;
-    let engine = Engine.load data in
-    let tau = (Engine.params engine).Params.tau in
-    Printf.printf "resumed: n=%d clusters=%d at time step %d\n%!"
-      (Engine.n_nodes engine) (Engine.n_clusters engine) (Engine.time_step engine);
-    let strategy =
-      match strategy with
-      | `Grow_shrink -> strategy_of (`Grow_shrink steps)
-      | (`Random | `Target | `Dos) as s -> strategy_of s
-    in
-    drive_and_report ~engine ~seed ~tau ~strategy ~steps ~snapshot_out
+    match Adversary.strategy_of_name ~steps strategy with
+    | Error msg -> `Error (false, msg)
+    | Ok strategy ->
+      setup_logs verbose;
+      let ic = open_in snapshot_path in
+      let len = in_channel_length ic in
+      let data = really_input_string ic len in
+      close_in ic;
+      let engine = Engine.load data in
+      let tau = (Engine.params engine).Params.tau in
+      Printf.printf "resumed: n=%d clusters=%d at time step %d\n%!"
+        (Engine.n_nodes engine) (Engine.n_clusters engine) (Engine.time_step engine);
+      drive_and_report ~engine ~seed ~tau ~strategy ~steps ~snapshot_out;
+      `Ok ()
   in
   let term =
     Term.(
-      const run $ seed_t $ snapshot_in_t $ strategy_t $ steps_t $ verbose_t
-      $ snapshot_out_t)
+      ret
+        (const run $ seed_t $ snapshot_in_t $ strategy_t $ steps_t $ verbose_t
+       $ snapshot_out_t))
   in
   Cmd.v
     (Cmd.info "resume" ~doc:"Resume a churn simulation from a saved snapshot.")
+    term
+
+(* ---------------- byz ---------------- *)
+
+(* Fault-injection scenario: a fixed message-level population where a
+   [tau] fraction of every cluster runs the requested behaviour, driven
+   through all four primitives under a trace collector; every injected
+   deviation surfaces as a byz.* point, counted and reported. *)
+let byz_cmd =
+  let behavior_t =
+    Arg.(
+      value & opt string "equivocate"
+      & info [ "behavior" ] ~docv:"BEHAVIOR"
+          ~doc:"Byzantine behaviour to inject ($(b,--list) shows the set).")
+  in
+  let byz_tau_t =
+    Arg.(
+      value & opt float 0.25
+      & info [ "tau" ] ~docv:"TAU"
+          ~doc:"Corrupted fraction of every cluster (rounded to members).")
+  in
+  let list_t =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the behaviours and exit.")
+  in
+  let trials_t =
+    Arg.(
+      value & opt int 10
+      & info [ "trials" ] ~docv:"N" ~doc:"Transfers/draws/walks per primitive.")
+  in
+  let run behavior tau list trials seed =
+    if list then begin
+      print_catalogue Adversary.Behavior.catalogue;
+      `Ok ()
+    end
+    else if tau < 0.0 || tau > 1.0 then `Error (true, "tau must be within [0, 1]")
+    else if trials < 1 then `Error (true, "need at least one trial")
+    else
+      match Adversary.Behavior.of_name behavior with
+      | Error msg -> `Error (false, msg)
+      | Ok _ ->
+        let beh node =
+          match Adversary.Behavior.of_name ~seed:(node + 1) behavior with
+          | Ok b -> b
+          | Error _ -> assert false
+        in
+        Trace.start ();
+        let rng = Rng.of_int (seed + 11) in
+        let ledger = Metrics.Ledger.create () in
+        let n_clusters = 6 and cluster_size = 12 in
+        let byz_per_cluster =
+          min cluster_size
+            (int_of_float ((tau *. float_of_int cluster_size) +. 0.5))
+        in
+        let cfg =
+          Cluster.Config.build_uniform ~rng ~ledger ~behavior:beh ~n_clusters
+            ~cluster_size ~byz_per_cluster ~overlay_degree:3 ()
+        in
+        (* Validated transfers around the overlay. *)
+        let accepted = ref 0 and forged = ref 0 and rejected = ref 0 in
+        for i = 1 to trials do
+          let src = i mod n_clusters in
+          let dst = (i + 1) mod n_clusters in
+          let payload = 1 + Rng.int rng 1_000 in
+          let res = Cluster.Valchan.transmit cfg ~src_cluster:src ~dst_cluster:dst ~payload () in
+          if
+            List.exists
+              (fun (_, v) -> match v with Some v -> v <> payload | None -> false)
+              res.Cluster.Valchan.verdicts
+          then incr forged
+          else if res.Cluster.Valchan.unanimous = Some payload then incr accepted
+          else incr rejected
+        done;
+        (* randNum draws. *)
+        let stalled = ref 0 and insecure = ref 0 in
+        for i = 1 to trials do
+          let o = Cluster.Randnum.run cfg ~cluster:(i mod n_clusters) ~range:1_000 in
+          if o.Cluster.Randnum.stalled then incr stalled;
+          if not o.Cluster.Randnum.secure then incr insecure
+        done;
+        (* randCl walks. *)
+        let walks_ok = ref 0 and walk_fail = ref 0 and retries = ref 0 in
+        for i = 1 to trials do
+          match Cluster.Walk.rand_cl cfg ~start:(i mod n_clusters) with
+          | Ok s ->
+            incr walks_ok;
+            retries := !retries + s.Cluster.Walk.hop_retries
+          | Error _ -> incr walk_fail
+        done;
+        (* One full exchange. *)
+        let exchange_ok =
+          match Cluster.Exchange.exchange_all cfg ~cluster:0 with
+          | Ok _ -> true
+          | Error _ -> false
+        in
+        let dump = Trace.stop () in
+        (* Tally the injected deviations (the byz.-prefixed points) and the
+           honest-side detections (walk.retry, randnum.stall). *)
+        let tally = Hashtbl.create 16 in
+        List.iter
+          (fun item ->
+            match item with
+            | Trace.Mark { name; _ } ->
+              let interesting =
+                String.length name >= 4 && String.sub name 0 4 = "byz."
+                || name = "walk.retry" || name = "randnum.stall"
+              in
+              if interesting then
+                Hashtbl.replace tally name
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt tally name))
+            | Trace.Span _ -> ())
+          (Trace.items dump);
+        Printf.printf "behavior %s at tau %.2f: %d/%d corrupted per cluster\n\n"
+          behavior tau byz_per_cluster cluster_size;
+        Printf.printf "  valchan : %d transfers — %d honest-accepted, %d forged, %d rejected\n"
+          trials !accepted !forged !rejected;
+        Printf.printf "  randnum : %d draws — %d stalled, %d insecure\n" trials
+          !stalled !insecure;
+        Printf.printf "  randcl  : %d walks — %d completed (%d hop retries), %d failed\n"
+          trials !walks_ok !retries !walk_fail;
+        Printf.printf "  exchange: %s\n\n" (if exchange_ok then "completed" else "failed");
+        let deviations =
+          Hashtbl.fold (fun name c acc -> (name, c) :: acc) tally []
+          |> List.sort compare
+        in
+        if deviations = [] then print_endline "  no deviation points recorded"
+        else begin
+          print_endline "  deviation / detection points:";
+          List.iter (fun (name, c) -> Printf.printf "    %-24s %6d\n" name c) deviations
+        end;
+        print_newline ();
+        print_string (Trace.Report.render (Trace.Report.of_dump dump));
+        `Ok ()
+  in
+  let term =
+    Term.(ret (const run $ behavior_t $ byz_tau_t $ list_t $ trials_t $ seed_t))
+  in
+  Cmd.v
+    (Cmd.info "byz"
+       ~doc:
+         "Inject a Byzantine behaviour into the message engine and report \
+          every deviation.")
     term
 
 (* ---------------- trace ---------------- *)
@@ -463,4 +611,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ experiments_cmd; churn_cmd; resume_cmd; trace_cmd; init_cmd ]))
+          [ experiments_cmd; churn_cmd; resume_cmd; byz_cmd; trace_cmd; init_cmd ]))

@@ -7,6 +7,7 @@ module Rng = Prng.Rng
 (* Re-export: [adversary.ml] is this library's root module, so siblings
    must be surfaced explicitly. *)
 module Workload = Workload
+module Behavior = Agreement.Byz_behavior
 
 type strategy =
   | Random_churn of float
@@ -21,6 +22,38 @@ let strategy_name = function
   | Dos_honest -> "dos-honest"
   | Grow_shrink p -> Printf.sprintf "grow-shrink(%d)" p
   | Ambient w -> "ambient/" ^ Workload.name w
+
+let strategy_catalogue =
+  [
+    ("random", "neutral background churn: coin-flip joins and leaves");
+    ("target", "Section 3.3 attack: re-join until landing in the most corrupted cluster");
+    ("dos", "force honest members of the adversary's best cluster out");
+    ("grow-shrink", "oscillate the population between the model's size bounds");
+    ("poisson", "ambient memoryless churn (stationary)");
+    ("flash-crowd", "ambient arrival burst followed by a mass exodus");
+    ("diurnal", "ambient day/night population sinusoid");
+  ]
+
+let strategy_names = List.map fst strategy_catalogue
+
+let strategy_of_name ?(steps = 2000) s =
+  match String.lowercase_ascii s with
+  | "random" -> Ok (Random_churn 0.5)
+  | "target" -> Ok Target_cluster
+  | "dos" -> Ok Dos_honest
+  | "grow-shrink" -> Ok (Grow_shrink (max 1 (steps / 4)))
+  | "poisson" -> Ok (Ambient (Workload.Poisson { join_ratio = 0.5 }))
+  | "flash-crowd" ->
+    Ok
+      (Ambient
+         (Workload.Flash_crowd
+            { arrive_at = steps / 4; size = max 1 (steps / 8); depart_at = 3 * steps / 4 }))
+  | "diurnal" ->
+    Ok (Ambient (Workload.Diurnal { period = max 2 (steps / 2); amplitude = 0.3 }))
+  | other ->
+    Error
+      (Printf.sprintf "unknown strategy %S; available: %s" other
+         (String.concat ", " strategy_names))
 
 type t = {
   engine : Engine.t;

@@ -14,6 +14,13 @@
 module Workload = Workload
 (** Ambient churn patterns (re-exported sibling module). *)
 
+module Behavior = Agreement.Byz_behavior
+(** What a corrupted node {e does} once placed — the behaviour catalogue
+    of the message-level fault-injection layer (re-exported so callers
+    can write [Adversary.Behavior.Equivocate]).  This module decides
+    {e where} corruption lands (churn strategies); [Behavior] decides how
+    a corrupted node deviates inside the protocol primitives. *)
+
 type strategy =
   | Random_churn of float
       (** [Random_churn p]: with probability p a join (corrupted greedily
@@ -39,6 +46,20 @@ type strategy =
           budget. *)
 
 val strategy_name : strategy -> string
+(** Human-readable name of an instantiated strategy (with parameters). *)
+
+val strategy_catalogue : (string * string) list
+(** [(name, one-line description)] for every strategy accepted by
+    {!strategy_of_name} — the source of the CLI's [--list] output. *)
+
+val strategy_names : string list
+(** The names of {!strategy_catalogue}, in catalogue order. *)
+
+val strategy_of_name : ?steps:int -> string -> (strategy, string) result
+(** Parse a catalogue name (case-insensitive) into a strategy with
+    default parameters; [steps] (default 2000) scales the parameters of
+    the phase-based strategies ([grow-shrink], [flash-crowd], [diurnal]).
+    [Error] carries a message listing the available names. *)
 
 type t
 
@@ -57,9 +78,17 @@ val run : ?steps_per_sample:int -> t -> steps:int -> on_sample:(t -> unit) -> un
     every [steps_per_sample] (default 100) steps and once at the end. *)
 
 val engine : t -> Now_core.Engine.t
+(** The driven engine (for direct inspection between samples). *)
+
 val steps_done : t -> int
+(** Steps executed so far. *)
+
 val joins : t -> int
+(** Join operations performed so far. *)
+
 val leaves : t -> int
+(** Leave operations performed so far. *)
+
 val byz_fraction : t -> float
 (** Current global fraction of adversary-owned nodes. *)
 

@@ -27,6 +27,8 @@ type t =
 type op = Join | Leave
 
 val name : t -> string
+(** Short label used in experiment tables (["poisson"], ["flash-crowd"],
+    ["diurnal"]). *)
 
 val plan : t -> Prng.Rng.t -> step:int -> n:int -> n0:int -> op
 (** Decide the operation for [step] given the current population [n] and

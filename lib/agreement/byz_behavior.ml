@@ -3,17 +3,118 @@ type t =
   | Fixed of int
   | Equivocate of int * int
   | Random_noise of int
+  | Bias_share of int
+  | Drop_walk of int
+  | Misroute_walk of int
+  | Lie_views of int
 
 let value_for t rng ~dst ~split_at ~honest_value =
-  ignore honest_value;
   match t with
   | Silent -> None
   | Fixed v -> Some v
   | Equivocate (v1, v2) -> Some (if dst < split_at then v1 else v2)
   | Random_noise _ -> Some (Prng.Rng.int rng 2)
+  (* The primitive-targeting behaviours run the honest code in the
+     agreement protocols; their deviation lives in on_channel/share. *)
+  | Bias_share _ | Drop_walk _ | Misroute_walk _ | Lie_views _ -> Some honest_value
 
 let rng_of = function
   | Silent -> Prng.Rng.of_int 1
   | Fixed v -> Prng.Rng.of_int (17 * v)
   | Equivocate (v1, v2) -> Prng.Rng.of_int ((31 * v1) + v2)
   | Random_noise seed -> Prng.Rng.of_int seed
+  | Bias_share v -> Prng.Rng.of_int ((41 * v) + 3)
+  | Drop_walk seed -> Prng.Rng.of_int ((43 * seed) + 5)
+  | Misroute_walk seed -> Prng.Rng.of_int ((47 * seed) + 7)
+  | Lie_views seed -> Prng.Rng.of_int ((53 * seed) + 11)
+
+type channel_action =
+  | Honest_send
+  | Forge of int
+  | Redirect of int
+  | Stay_silent
+
+let is_prefix prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+let on_channel t rng ~label ~dst ~split_at ~honest =
+  match t with
+  (* The four legacy strategies must reproduce value_for exactly — same
+     values, same rng draw sequence — so that configurations built before
+     the fault-injection layer replay bit-identically. *)
+  | Silent -> Stay_silent
+  | Fixed v -> Forge v
+  | Equivocate (v1, v2) -> Forge (if dst < split_at then v1 else v2)
+  | Random_noise _ -> Forge (Prng.Rng.int rng 2)
+  | Bias_share _ -> Honest_send
+  | Drop_walk _ -> if is_prefix "walk." label then Stay_silent else Honest_send
+  | Misroute_walk _ ->
+    (* lnot dst < 0 is never a live node id: the copy is provably lost,
+       yet sent (and charged) — misrouting wastes messages, it does not
+       save them. *)
+    if is_prefix "walk." label then Redirect (lnot dst) else Honest_send
+  | Lie_views _ ->
+    (* Different composition claims to different receivers: an
+       equivocation keyed on the receiver id parity. *)
+    if is_prefix "exchange" label then Forge (honest + 1 + (dst land 1))
+    else Honest_send
+
+let share t rng =
+  match t with
+  | (Silent | Fixed _ | Equivocate _ | Random_noise _) as legacy ->
+    value_for legacy rng ~dst:0 ~split_at:0 ~honest_value:0
+  | Bias_share v -> Some v
+  | Drop_walk _ | Misroute_walk _ | Lie_views _ ->
+    (* Honest-looking share from the behaviour's own generator (never the
+       configuration's shared stream). *)
+    Some (Prng.Rng.int rng 1_073_741_823)
+
+let deviation = function
+  | Silent -> "silent"
+  | Fixed _ -> "forge"
+  | Equivocate _ -> "equivocate"
+  | Random_noise _ -> "noise"
+  | Bias_share _ -> "bias-share"
+  | Drop_walk _ -> "walk-drop"
+  | Misroute_walk _ -> "walk-misroute"
+  | Lie_views _ -> "view-lie"
+
+let name = function
+  | Silent -> "silent"
+  | Fixed _ -> "fixed"
+  | Equivocate _ -> "equivocate"
+  | Random_noise _ -> "noise"
+  | Bias_share _ -> "bias-share"
+  | Drop_walk _ -> "drop-walk"
+  | Misroute_walk _ -> "misroute-walk"
+  | Lie_views _ -> "lie-views"
+
+let catalogue =
+  [
+    ("silent", "send nothing anywhere (crash-like, never detected as crashed)");
+    ("fixed", "always claim one fixed (forged) value");
+    ("equivocate", "different payloads to the lower/upper half of receivers");
+    ("noise", "fresh pseudo-random value per message (seeded)");
+    ("bias-share", "honest on channels, constant biased randNum share");
+    ("drop-walk", "withhold walk-token copies (kill randCl hops); honest elsewhere");
+    ("misroute-walk", "redirect walk-token copies to a sink; honest elsewhere");
+    ("lie-views", "equivocate on exchange announcements/views; honest elsewhere");
+  ]
+
+let names = List.map fst catalogue
+
+let of_name ?(seed = 1) s =
+  match String.lowercase_ascii s with
+  | "silent" -> Ok Silent
+  | "fixed" -> Ok (Fixed (1000 + seed))
+  | "equivocate" -> Ok (Equivocate ((2 * seed) + 1, (2 * seed) + 2))
+  | "noise" -> Ok (Random_noise seed)
+  | "bias-share" -> Ok (Bias_share 0)
+  | "drop-walk" -> Ok (Drop_walk seed)
+  | "misroute-walk" -> Ok (Misroute_walk seed)
+  | "lie-views" -> Ok (Lie_views seed)
+  | other ->
+    Error
+      (Printf.sprintf "unknown behavior %S; available: %s" other
+         (String.concat ", " names))

@@ -3,7 +3,17 @@
     The adversary of Section 2 is static with full knowledge: it corrupts a
     set of nodes up-front and they may send arbitrary messages under their
     own identities.  These strategies cover the standard attack shapes;
-    protocol test suites run each protocol against all of them. *)
+    protocol test suites run each protocol against all of them, and the
+    fault-injection layer (E13, [now_sim byz]) turns them loose on the
+    cluster primitives: validated channels, [randNum], the [randCl] walk
+    and [exchange].
+
+    Every behaviour is {e seeded and deterministic}: all the randomness a
+    corrupted node uses is drawn from {!rng_of} (a generator derived from
+    the strategy value itself), never from [Stdlib.Random] or shared
+    streams — the same configuration replays bit-identically, which is
+    what keeps the experiment tables byte-identical across reruns and
+    [-j] values. *)
 
 type t =
   | Silent  (** sends nothing (crash-like, but never detected as crashed) *)
@@ -12,11 +22,78 @@ type t =
       (** sends the first value to the lower half of the receiver ids and
           the second to the upper half *)
   | Random_noise of int  (** fresh pseudo-random value per message; seeded *)
+  | Bias_share of int
+      (** plays honest on every channel but contributes this constant
+          share to [randNum] (the biased-contribution attack; defeated by
+          commit-before-reveal) *)
+  | Drop_walk of int
+      (** stays silent on [walk.token] validated transfers (tries to kill
+          [randCl] walks crossing its cluster); honest elsewhere; seeded *)
+  | Misroute_walk of int
+      (** redirects its copy of the walk token to a non-existent sink
+          instead of the legitimate receivers (misrouting attack); honest
+          elsewhere; seeded *)
+  | Lie_views of int
+      (** equivocates on [exchange.*] channels (announcements and view
+          updates), telling different receivers different compositions;
+          honest elsewhere; seeded *)
 
 val value_for : t -> Prng.Rng.t -> dst:int -> split_at:int -> honest_value:int -> int option
 (** What a Byzantine node under this strategy sends to [dst] when the
     protocol expects it to send [honest_value]; [None] means stay silent.
-    [split_at] is the id threshold used by [Equivocate]. *)
+    [split_at] is the id threshold used by [Equivocate].  The
+    primitive-targeting behaviours ({!constructor:Bias_share},
+    {!constructor:Drop_walk}, {!constructor:Misroute_walk},
+    {!constructor:Lie_views}) answer [Some honest_value] here — in the
+    agreement protocols they run the honest code, their deviation lives in
+    the cluster primitives ({!on_channel}, {!share}). *)
 
 val rng_of : t -> Prng.Rng.t
 (** A generator seeded from the strategy (deterministic per strategy). *)
+
+(** Per-destination decision of a corrupted member of the {e sending}
+    cluster of a validated inter-cluster channel ({!Cluster.Valchan}). *)
+type channel_action =
+  | Honest_send  (** forward the honest payload faithfully *)
+  | Forge of int  (** send this (wrong or equivocating) payload instead *)
+  | Redirect of int  (** send the honest payload to this receiver instead *)
+  | Stay_silent  (** withhold the copy *)
+
+val on_channel :
+  t -> Prng.Rng.t -> label:string -> dst:int -> split_at:int -> honest:int -> channel_action
+(** What this behaviour does on a validated-channel send carrying [honest]
+    to [dst] over the channel named [label] (["walk.token"],
+    ["exchange.announce"], ...).  Label-sensitive: {!constructor:Drop_walk}
+    and {!constructor:Misroute_walk} only deviate on [walk.*] channels,
+    {!constructor:Lie_views} only on [exchange.*] ones.  For the four
+    legacy strategies this reproduces {!value_for} exactly (same values,
+    same [rng] draw sequence). *)
+
+val share : t -> Prng.Rng.t -> int option
+(** The contribution this behaviour escrows in a [randNum] round ([None] =
+    withhold).  Committed before any honest share is visible, per the
+    commit/VSS model — identical to the legacy [value_for ~dst:0
+    ~split_at:0] contribution for the four legacy strategies; the
+    channel-targeting behaviours contribute an honest-looking share drawn
+    from their own generator. *)
+
+val deviation : t -> string
+(** Short label of the deviation this behaviour injects (["equivocate"],
+    ["walk-drop"], ...) — the suffix of the [byz.*] trace points the
+    primitives emit whenever the behaviour actually deviates. *)
+
+val name : t -> string
+(** CLI/name of the behaviour shape, e.g. ["equivocate"], ["bias-share"]
+    (parameters elided — {!of_name} round-trips these). *)
+
+val catalogue : (string * string) list
+(** [(name, one-line description)] for every behaviour shape, in
+    presentation order — the [--list] output of [now_sim byz]. *)
+
+val names : string list
+(** The first components of {!catalogue}. *)
+
+val of_name : ?seed:int -> string -> (t, string) result
+(** Build a behaviour from its {!name}, deriving any value/seed parameters
+    from [seed] (default 1).  [Error msg] on an unknown name; [msg] lists
+    the available set. *)

@@ -117,19 +117,22 @@ let remove_node t ~node =
   Hashtbl.remove t.node_home node;
   Hashtbl.remove t.byz node
 
-let build_uniform ~rng ?ledger ~n_clusters ~cluster_size ~byz_per_cluster
+let build_uniform ~rng ?ledger ?behavior ~n_clusters ~cluster_size ~byz_per_cluster
     ~overlay_degree () =
   if byz_per_cluster > cluster_size then
     invalid_arg "Config.build_uniform: more Byzantine members than members";
+  let behavior =
+    match behavior with
+    | Some f -> f
+    | None -> fun node -> Agreement.Byz_behavior.Random_noise (node + 1)
+  in
   let byz_tbl = Hashtbl.create 64 in
   let clusters =
     List.init n_clusters (fun cid ->
         let members =
           List.init cluster_size (fun i ->
               let node = (cid * cluster_size) + i in
-              if i < byz_per_cluster then
-                Hashtbl.replace byz_tbl node
-                  (Agreement.Byz_behavior.Random_noise (node + 1));
+              if i < byz_per_cluster then Hashtbl.replace byz_tbl node (behavior node);
               node)
         in
         (cid, members))

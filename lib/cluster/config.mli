@@ -24,6 +24,7 @@ val make :
 val build_uniform :
   rng:Prng.Rng.t ->
   ?ledger:Metrics.Ledger.t ->
+  ?behavior:(int -> Agreement.Byz_behavior.t) ->
   n_clusters:int ->
   cluster_size:int ->
   byz_per_cluster:int ->
@@ -32,14 +33,25 @@ val build_uniform :
   t
 (** Convenience builder for tests and benches: [n_clusters] clusters of
     [cluster_size] nodes, the first [byz_per_cluster] members of each being
-    Byzantine with behaviour [Random_noise], linked by a near-regular
-    random overlay of degree [overlay_degree]. *)
+    Byzantine, linked by a near-regular random overlay of degree
+    [overlay_degree].  [behavior] maps a corrupted node id to its
+    behaviour; the default, [Random_noise (node + 1)], keeps historical
+    tables byte-identical. *)
 
 val rng : t -> Prng.Rng.t
+(** The configuration's root random stream (all primitives draw from it). *)
+
 val ledger : t -> Metrics.Ledger.t
+(** The shared message/round cost ledger. *)
+
 val overlay : t -> Dsgraph.Graph.t
+(** The inter-cluster overlay graph (vertices are cluster ids). *)
+
 val byzantine : t -> int -> Agreement.Byz_behavior.t option
+(** The behaviour a corrupted node runs, [None] for honest nodes. *)
+
 val is_byzantine : t -> int -> bool
+(** [is_byzantine t node = (byzantine t node <> None)]. *)
 
 val cluster_ids : t -> int list
 (** Sorted. *)
@@ -48,11 +60,16 @@ val members : t -> int -> int list
 (** Sorted member ids of a cluster; raises [Not_found] for unknown ids. *)
 
 val size : t -> int -> int
+(** Member count of a cluster; raises [Not_found] for unknown ids. *)
+
 val cluster_of : t -> int -> int
 (** Cluster currently hosting a node. *)
 
 val n_nodes : t -> int
+(** Total node count across all clusters. *)
+
 val max_cluster_size : t -> int
+(** Size of the largest cluster (0 when there are none). *)
 
 val honest_majority : t -> int -> bool
 (** More than 2/3 of the cluster's members are honest. *)

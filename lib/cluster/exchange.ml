@@ -1,5 +1,6 @@
 module Graph = Dsgraph.Graph
 module Ledger = Metrics.Ledger
+module B = Agreement.Byz_behavior
 
 type error = Walk.error
 
@@ -11,6 +12,20 @@ let charge_view_update cfg cluster =
   let messages = ref 0 in
   Graph.iter_neighbors overlay cluster (fun nb ->
       messages := !messages + (size * Config.size cfg nb));
+  (* Lie_views members announce a divergent composition inside this bulk
+     update; receivers keep the majority view, so the lie surfaces only as
+     an injected deviation. *)
+  (if Trace.active () then
+     List.iter
+       (fun node ->
+         match Config.byzantine cfg node with
+         | Some (B.Lie_views _ as s) ->
+           Trace.point
+             ~attrs:[ ("cluster", cluster); ("node", node) ]
+             Trace.Msg
+             ("byz." ^ B.deviation s)
+         | Some _ | None -> ())
+       (Config.members cfg cluster));
   Ledger.charge (Config.ledger cfg) ~label:"exchange.view_update" ~messages:!messages
     ~rounds:1
 

@@ -1,7 +1,8 @@
 module Net = Simkernel.Net
 module Rng = Prng.Rng
+module B = Agreement.Byz_behavior
 
-type outcome = { value : int; secure : bool }
+type outcome = { value : int; secure : bool; stalled : bool; participants : int }
 
 (* SplitMix-style avalanche so that any single uniform contribution makes
    the mix uniform. *)
@@ -36,9 +37,18 @@ let run_session cfg ~range ~members ~n =
         | Some strategy ->
           (* Committed before any honest contribution is visible; the VSS
              model makes it binding and consistent across members. *)
-          let rng = Agreement.Byz_behavior.rng_of strategy in
-          Agreement.Byz_behavior.value_for strategy rng ~dst:0 ~split_at:0
-            ~honest_value:0
+          let c = B.share strategy (B.rng_of strategy) in
+          (* Withheld or biased shares are injected deviations; the
+             honest-looking shares of the channel-targeting behaviours are
+             not (commit-reveal makes them indistinguishable). *)
+          (if Trace.active () then
+             match (strategy, c) with
+             | _, None -> Trace.point ~attrs:[ ("node", id) ] Trace.Msg "byz.randnum.withhold"
+             | (B.Silent | B.Fixed _ | B.Equivocate _ | B.Random_noise _ | B.Bias_share _), Some _
+               ->
+               Trace.point ~attrs:[ ("node", id) ] Trace.Msg "byz.randnum.bias"
+             | (B.Drop_walk _ | B.Misroute_walk _ | B.Lie_views _), Some _ -> ());
+          c
       in
       (match contribution with
       | Some c -> contributions := (id, c) :: !contributions
@@ -50,12 +60,20 @@ let run_session cfg ~range ~members ~n =
             Net.multicast net ~src:id ~dsts:others ~label:"randnum" 0))
     members;
   Net.run_rounds net 2;
-  if not secure then { value = 0; secure }
+  let participants = List.length !contributions in
+  (* Honest-side stall detection: reconstruction needs shares escrowed by
+     more than two thirds of the members (the VSS quorum); more than 1/3
+     withholding is observable by every honest member as missing escrows. *)
+  let stalled = 3 * participants < 2 * n in
+  if stalled && Trace.active () then
+    Trace.point ~attrs:[ ("have", participants); ("need", (2 * n / 3) + 1) ] Trace.Msg
+      "randnum.stall";
+  if not secure then { value = 0; secure; stalled; participants }
   else begin
     let sorted =
       List.sort (fun (a, _) (b, _) -> compare a b) !contributions |> List.map snd
     in
-    { value = mix sorted ~range; secure }
+    { value = mix sorted ~range; secure; stalled; participants }
   end
 
 let run cfg ~cluster ~range =

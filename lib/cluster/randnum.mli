@@ -23,6 +23,15 @@ type outcome = {
   secure : bool;
       (** [false] when Byzantine members are >= 2/3 of the cluster: the
           value is then adversary-controlled (0 here) rather than random *)
+  stalled : bool;
+      (** [true] when fewer than 2/3 of the members escrowed a share: the
+          VSS reconstruction quorum is not met, so honest members detect
+          the stall (a [randnum.stall] trace point is emitted).  Only
+          withholding behaviours ({!Agreement.Byz_behavior.Silent}) can
+          cause this, and only when they exceed 1/3 of the cluster. *)
+  participants : int;
+      (** How many members actually escrowed a contribution (honest
+          members always do; Byzantine members may withhold). *)
 }
 
 val run : Config.t -> cluster:int -> range:int -> outcome

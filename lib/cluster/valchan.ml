@@ -1,4 +1,15 @@
 module Net = Simkernel.Net
+module B = Agreement.Byz_behavior
+
+(* One point per injected deviation (Msg layer, inside the transfer's
+   span), so `now_sim trace` surfaces every Byzantine action without
+   needing --net-detail. *)
+let deviation_point strategy ~src ~dst =
+  if Trace.active () then
+    Trace.point
+      ~attrs:[ ("dst", dst); ("src", src) ]
+      Trace.Msg
+      ("byz." ^ B.deviation strategy)
 
 let validate ~members ~inbox =
   (* One vote per member: first message wins (authenticated channels make
@@ -44,18 +55,21 @@ let transmit_session cfg ~src_cluster ~dst_cluster ~label ~payload =
             if round = 1 then
               Net.multicast net ~src:id ~dsts:dst_members ~label payload)
       | Some strategy ->
-        let rng = Agreement.Byz_behavior.rng_of strategy in
+        let rng = B.rng_of strategy in
         Net.add_node net ~id (fun ~round ~inbox ->
             ignore inbox;
             if round = 1 then
               List.iter
                 (fun dst ->
-                  match
-                    Agreement.Byz_behavior.value_for strategy rng ~dst ~split_at
-                      ~honest_value:payload
-                  with
-                  | Some v -> Net.send net ~src:id ~dst ~label v
-                  | None -> ())
+                  match B.on_channel strategy rng ~label ~dst ~split_at ~honest:payload with
+                  | B.Honest_send -> Net.send net ~src:id ~dst ~label payload
+                  | B.Forge v ->
+                    deviation_point strategy ~src:id ~dst;
+                    Net.send net ~src:id ~dst ~label ~deviant:true v
+                  | B.Redirect sink ->
+                    deviation_point strategy ~src:id ~dst;
+                    Net.send net ~src:id ~dst:sink ~label ~deviant:true payload
+                  | B.Stay_silent -> deviation_point strategy ~src:id ~dst)
                 dst_members))
     src_members;
   List.iter

@@ -2,7 +2,7 @@ module Graph = Dsgraph.Graph
 
 type error = [ `Validation_failed of int | `Too_many_restarts ]
 
-type stats = { selected : int; hops : int; restarts : int }
+type stats = { selected : int; hops : int; restarts : int; hop_retries : int }
 
 (* Split one randNum draw into the fields a hop needs: a neighbour index
    and a uniform coin for the exponential holding time. *)
@@ -17,21 +17,28 @@ let default_duration cfg =
   let mean_degree = Float.max 1.0 (Graph.mean_degree g) in
   2.0 *. (log (float_of_int n) /. log 2.0) /. mean_degree
 
-let rand_cl_session ?duration ?(max_restarts = 1000) cfg ~start =
+let rand_cl_session ?duration ?(max_restarts = 1000) ?(max_hop_retries = 2) cfg ~start =
   let overlay = Config.overlay cfg in
   let duration = match duration with Some d -> d | None -> default_duration cfg in
   let max_size = float_of_int (Config.max_cluster_size cfg) in
   let exception Invalid of int in
-  let rec hop current remaining hops restarts =
+  (* [retries] counts hop re-draws across the whole walk; a hop that fails
+     validation (dropped or misrouted token copies by a Byzantine majority
+     of the current cluster) is retried with a fresh randNum draw — the
+     walk may route around the faulty edge — up to [max_hop_retries] times
+     in total before the current cluster is blamed.  The retry path only
+     replaces a previously-fatal path, so fault-free walks are
+     byte-identical to the pre-retry implementation. *)
+  let rec hop current remaining hops restarts retries =
     let d = Graph.degree overlay current in
     let draw range = (Randnum.run cfg ~cluster:current ~range).value in
     let finish () =
       (* Endpoint acceptance coin: p = |C| / max |C'|. *)
       let p = float_of_int (Config.size cfg current) /. max_size in
       let coin = float_of_int (draw coin_range) /. float_of_int coin_range in
-      if coin < p then Ok { selected = current; hops; restarts }
+      if coin < p then Ok { selected = current; hops; restarts; hop_retries = retries }
       else if restarts >= max_restarts then Error `Too_many_restarts
-      else hop current duration hops (restarts + 1)
+      else hop current duration hops (restarts + 1) retries
     in
     if d = 0 then finish ()
     else begin
@@ -47,25 +54,32 @@ let rand_cl_session ?duration ?(max_restarts = 1000) cfg ~start =
           Valchan.transmit cfg ~src_cluster:current ~dst_cluster:next ~label:"walk.token"
             ~payload:hops ()
         in
-        (match res.Valchan.unanimous with
-        | Some _ -> ()
-        | None -> raise (Invalid current));
-        hop next (remaining -. hold) (hops + 1) restarts
+        match res.Valchan.unanimous with
+        | Some _ -> hop next (remaining -. hold) (hops + 1) restarts retries
+        | None ->
+          if retries >= max_hop_retries then raise (Invalid current)
+          else begin
+            if Trace.active () then
+              Trace.point
+                ~attrs:[ ("hop", hops); ("to", next) ]
+                Trace.Msg "walk.retry";
+            hop current remaining hops restarts (retries + 1)
+          end
       end
     end
   in
-  match hop start duration 0 0 with
+  match hop start duration 0 0 0 with
   | result -> result
   | exception Invalid c -> Error (`Validation_failed c)
 
-let rand_cl ?duration ?max_restarts cfg ~start =
+let rand_cl ?duration ?max_restarts ?max_hop_retries cfg ~start =
   let ledger = Config.ledger cfg in
   Trace.with_span
     ~attrs:[ ("start", start) ]
     ~ledger
     ~time:(Metrics.Ledger.total_rounds ledger)
     Trace.Msg "randcl"
-    (fun () -> rand_cl_session ?duration ?max_restarts cfg ~start)
+    (fun () -> rand_cl_session ?duration ?max_restarts ?max_hop_retries cfg ~start)
 
 let pick_member cfg ~cluster =
   let members = Config.members cfg cluster in

@@ -20,26 +20,40 @@
 
 type error =
   [ `Validation_failed of int
-    (** a traversed cluster failed to validate the token — only possible
-        when some cluster lost its honest majority; carries the cluster *)
-  | `Too_many_restarts ]
+    (** a traversed cluster failed to validate the token, even after hop
+        retries — only possible when some cluster lost its honest
+        majority; carries the blamed cluster *)
+  | `Too_many_restarts  (** the endpoint-acceptance coin never landed *) ]
 
 type stats = {
   selected : int;  (** the chosen cluster *)
   hops : int;  (** inter-cluster transfers performed *)
   restarts : int;  (** rejected endpoints before acceptance *)
+  hop_retries : int;
+      (** failed token validations recovered by re-drawing the hop (0 on
+          any fault-free walk); each retry emits a [walk.retry] trace
+          point *)
 }
 
 val rand_cl :
   ?duration:float ->
   ?max_restarts:int ->
+  ?max_hop_retries:int ->
   Config.t ->
   start:int ->
   (stats, error) Stdlib.result
 (** [rand_cl cfg ~start] runs the walk from cluster [start].  [duration]
     defaults to [2 * log2 (#clusters) / mean-degree] time units (about
     [2 log2 #C] hops, the CTRW firing at rate deg(v)); [max_restarts]
-    to 1000. *)
+    to 1000.
+
+    Honest-side tolerance: when a token transfer fails validation (a
+    Byzantine majority of the current cluster dropped or misrouted its
+    copies — {!Agreement.Byz_behavior.Drop_walk} /
+    {!Agreement.Byz_behavior.Misroute_walk}), the hop is re-drawn with a
+    fresh {!Randnum} draw up to [max_hop_retries] times (default 2)
+    across the walk before [`Validation_failed] blames the current
+    cluster.  Fault-free walks are unaffected by the retry logic. *)
 
 val pick_member : Config.t -> cluster:int -> int
 (** Uniform member of the cluster via {!Randnum} ([randNum(|C|)]). *)

@@ -1,0 +1,4 @@
+(** Experiment E13 — active Byzantine behaviour injection in the message
+    engine; see DESIGN.md sections 4 and 5 and the header of e13.ml. *)
+
+val run : ?mode:Common.mode -> ?seed:int64 -> unit -> Common.result

@@ -14,6 +14,7 @@ let all : (string * runner) list =
     ("E10", fun mode -> E10.run ~mode ());
     ("E11", fun mode -> E11.run ~mode ());
     ("E12", fun mode -> E12.run ~mode ());
+    ("E13", fun mode -> E13.run ~mode ());
     ("F1", fun mode -> F12.f1 ~mode ());
     ("F2", fun mode -> F12.f2 ~mode ());
     ("A1", fun mode -> A1.run ~mode ());
@@ -33,7 +34,10 @@ let run_ids ~mode ids =
         (fun id ->
           match find id with
           | Some r -> (String.uppercase_ascii id, r)
-          | None -> invalid_arg (Printf.sprintf "unknown experiment id %S" id))
+          | None ->
+            invalid_arg
+              (Printf.sprintf "unknown experiment id %S; available: %s" id
+                 (String.concat ", " (List.map fst all))))
         ids
   in
   (* Independent experiments fan out across the Exec pool (each builds its

@@ -4,7 +4,7 @@
 type runner = Common.mode -> Common.result
 
 val all : (string * runner) list
-(** In presentation order: E1..E11, F1, F2, then the ablations A1, A2. *)
+(** In presentation order: E1..E13, F1, F2, then the ablations A1, A2. *)
 
 val find : string -> runner option
 (** Case-insensitive lookup by id. *)

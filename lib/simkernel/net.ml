@@ -7,12 +7,20 @@ type 'msg t = {
   mutable pending : (int * int * 'msg) list;  (* (src, dst, msg), reversed send order *)
   mutable round : int;
   mutable messages_sent : int;
+  mutable deviant_sent : int;
   ledger : Metrics.Ledger.t;
 }
 
 let create ?ledger () =
   let ledger = match ledger with Some l -> l | None -> Metrics.Ledger.create () in
-  { nodes = Hashtbl.create 256; pending = []; round = 0; messages_sent = 0; ledger }
+  {
+    nodes = Hashtbl.create 256;
+    pending = [];
+    round = 0;
+    messages_sent = 0;
+    deviant_sent = 0;
+    ledger;
+  }
 
 let ledger t = t.ledger
 
@@ -32,10 +40,16 @@ let is_alive t id = Hashtbl.mem t.nodes id
 let nodes t =
   Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort compare
 
-let send t ~src ~dst ?(label = "msg") msg =
+let send t ~src ~dst ?(label = "msg") ?(deviant = false) msg =
   if not (is_alive t src) then invalid_arg "Net.send: sender is not alive";
   t.pending <- (src, dst, msg) :: t.pending;
   t.messages_sent <- t.messages_sent + 1;
+  if deviant then begin
+    t.deviant_sent <- t.deviant_sent + 1;
+    if Trace.net_detail () then
+      Trace.point ~attrs:[ ("dst", dst); ("src", src) ] ~time:t.round Trace.Net
+        ("net.byz." ^ label)
+  end;
   if Trace.net_detail () then
     Trace.point ~attrs:[ ("dst", dst); ("src", src) ] ~time:t.round Trace.Net
       ("net.send." ^ label);
@@ -92,3 +106,4 @@ let run_until t ?(max_rounds = 10_000) pred =
   go 0
 
 let messages_sent t = t.messages_sent
+let deviant_sent t = t.deviant_sent

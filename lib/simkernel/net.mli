@@ -20,6 +20,7 @@
     ([net.send.<label>] / [net.round]). *)
 
 type 'msg t
+(** A network instance carrying ['msg]-typed messages. *)
 
 type 'msg handler = round:int -> inbox:(int * 'msg) list -> unit
 (** Called once per round for each live node.  [inbox] holds
@@ -31,6 +32,7 @@ val create : ?ledger:Metrics.Ledger.t -> unit -> 'msg t
     created (accessible via {!ledger}). *)
 
 val ledger : 'msg t -> Metrics.Ledger.t
+(** The ledger every send and round of this network is charged to. *)
 
 val add_node : 'msg t -> id:int -> 'msg handler -> unit
 (** Register a node.  Raises [Invalid_argument] if the id is in use. *)
@@ -49,15 +51,23 @@ val is_alive : 'msg t -> int -> bool
 val nodes : 'msg t -> int list
 (** Live node ids, sorted. *)
 
-val send : 'msg t -> src:int -> dst:int -> ?label:string -> 'msg -> unit
+val send : 'msg t -> src:int -> dst:int -> ?label:string -> ?deviant:bool -> 'msg -> unit
 (** Queue a message for delivery next round.  The ledger is charged one
     message under [label] (default ["msg"]).  Raises [Invalid_argument] if
-    [src] is not alive (departed nodes cannot speak). *)
+    [src] is not alive (departed nodes cannot speak).
+
+    [deviant] (default [false]) marks the send as a Byzantine-injected
+    deviation: it is additionally counted in {!deviant_sent} and, when a
+    {!Trace} collector with [net_detail] is active, emits a
+    [net.byz.<label>] point — the kernel-level face of the fault-injection
+    layer.  The kernel gives deviant sends no extra power: same charging,
+    same delivery, same stamped sender identity. *)
 
 val multicast : 'msg t -> src:int -> dsts:int list -> ?label:string -> 'msg -> unit
 (** One {!send} per destination. *)
 
 val round : 'msg t -> int
+(** The current round number (0 before the first {!run_round}). *)
 
 val run_round : 'msg t -> unit
 (** Deliver all queued messages and execute every live node's handler once.
@@ -73,3 +83,7 @@ val run_until : 'msg t -> ?max_rounds:int -> (unit -> bool) -> int
 
 val messages_sent : 'msg t -> int
 (** Total messages ever sent through this network. *)
+
+val deviant_sent : 'msg t -> int
+(** How many of {!messages_sent} were marked [deviant] — injected
+    Byzantine deviations (see {!send}). *)

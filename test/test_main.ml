@@ -12,6 +12,7 @@ let () =
       ("randwalk", Test_randwalk.suite);
       ("over", Test_over.suite);
       ("cluster", Test_cluster.suite);
+      ("byzantine", Test_byzantine.suite);
       ("cluster-ops", Test_cluster_ops.suite);
       ("core", Test_core.suite);
       ("adversary", Test_adversary.suite);
