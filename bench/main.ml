@@ -3,9 +3,16 @@
    micro-benchmark per experiment, measuring the protocol operation at the
    heart of that experiment.
 
-   Usage:  dune exec bench/main.exe -- [--full] [--skip-micro] [-j N] [IDS...]
+   Usage:  dune exec bench/main.exe -- [--full] [--skip-micro]
+                                       [--monitor-json FILE] [-j N] [IDS...]
      --full        run experiments at EXPERIMENTS.md scale (slow)
      --skip-micro  skip the Bechamel micro-benchmarks
+     --monitor-json FILE
+                   run the experiments under the invariant monitor and
+                   write per-experiment wall times + the invariant summary
+                   to FILE (scripts/bench_diff.ml compares two such files;
+                   the committed baseline is BENCH_monitor.json).  Stdout
+                   is unchanged — wall times live only in the file.
      -j N          worker domains for the Exec pool (default: available
                    cores; -j 1 reproduces the sequential run — tables are
                    byte-identical either way)
@@ -351,6 +358,91 @@ let run_micro () =
   Metrics.Table.print table
 
 (* ------------------------------------------------------------------ *)
+(* Invariant/timing summary (--monitor-json)                           *)
+(* ------------------------------------------------------------------ *)
+
+(* BENCH_monitor.json: per-experiment wall time + the run's invariant
+   summary, consumed by scripts/bench_diff.ml.  The wall times are the
+   only nondeterministic fields — the comparator treats them leniently
+   (a drift band), while the invariant aggregates are seeded and must
+   match the baseline exactly. *)
+let write_monitor_json ~path ~mode ~results ~timings store =
+  let buf = Buffer.create 4096 in
+  let fr = Monitor.Store.float_repr in
+  Buffer.add_string buf "{\n  \"format\": 1,\n";
+  Buffer.add_string buf (Printf.sprintf "  \"mode\": %S,\n" mode);
+  Buffer.add_string buf "  \"experiments\": [\n";
+  let sorted =
+    List.sort
+      (fun a b -> compare a.Harness.Common.id b.Harness.Common.id)
+      results
+  in
+  let rows_of r =
+    let csv = String.trim (Metrics.Table.to_csv r.Harness.Common.table) in
+    max 0 (List.length (String.split_on_char '\n' csv) - 1)
+  in
+  let last = List.length sorted - 1 in
+  List.iteri
+    (fun i r ->
+      let id = r.Harness.Common.id in
+      let wall = try Hashtbl.find timings id with Not_found -> 0.0 in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"id\": %S, \"ok\": %b, \"rows\": %d, \"wall_seconds\": %.3f}%s\n"
+           id r.Harness.Common.ok (rows_of r) wall
+           (if i = last then "" else ",")))
+    sorted;
+  Buffer.add_string buf "  ],\n";
+  let samples = Monitor.Store.samples store in
+  let agg series op init =
+    List.fold_left
+      (fun acc (s : Monitor.Store.sample) ->
+        if s.Monitor.Store.series = series then op acc s.Monitor.Store.value
+        else acc)
+      init samples
+  in
+  let field name v =
+    Printf.sprintf "    %S: %s,\n" name
+      (if Float.is_finite v then fr v else "null")
+  in
+  Buffer.add_string buf "  \"invariants\": {\n";
+  Buffer.add_string buf
+    (Printf.sprintf "    \"samples\": %d,\n" (Monitor.Store.n_samples store));
+  Buffer.add_string buf
+    (Printf.sprintf "    \"violations\": %d,\n"
+       (Monitor.Store.n_violations store));
+  Buffer.add_string buf
+    (field "honest_frac_min" (agg "cluster.honest_frac.min" min infinity));
+  Buffer.add_string buf
+    (field "cluster_size_max" (agg "cluster.size.max" max neg_infinity));
+  Buffer.add_string buf
+    (field "overlay_degree_max" (agg "overlay.degree.max" max neg_infinity));
+  Buffer.add_string buf
+    (field "expansion_min" (agg "overlay.expansion.lower" min infinity));
+  let tally =
+    List.fold_left
+      (fun acc (v : Monitor.Store.violation) ->
+        match acc with
+        | (inv, n) :: rest when inv = v.Monitor.Store.invariant ->
+          (inv, n + 1) :: rest
+        | _ -> (v.Monitor.Store.invariant, 1) :: acc)
+      []
+      (Monitor.Store.violations store)
+    |> List.rev
+  in
+  Buffer.add_string buf "    \"violations_by_invariant\": {";
+  List.iteri
+    (fun i (inv, n) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s%S: %d" (if i = 0 then "" else ", ") inv n))
+    tally;
+  Buffer.add_string buf "}\n  }\n}\n";
+  let oc = open_out path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -370,10 +462,17 @@ let () =
   (match parse_jobs args with
   | Some j -> Exec.set_default_jobs j
   | None -> ());
+  let rec parse_monitor_json = function
+    | [] -> None
+    | "--monitor-json" :: path :: _ -> Some path
+    | [ "--monitor-json" ] -> failwith "bench: --monitor-json expects an argument"
+    | _ :: rest -> parse_monitor_json rest
+  in
+  let monitor_json = parse_monitor_json args in
   let ids =
     let rec strip = function
       | [] -> []
-      | ("-j" | "--jobs") :: _ :: rest -> strip rest
+      | ("-j" | "--jobs" | "--monitor-json") :: _ :: rest -> strip rest
       | a :: rest ->
         if String.length a >= 2 && String.sub a 0 2 = "--" then strip rest
         else a :: strip rest
@@ -388,10 +487,35 @@ let () =
     "NOW/OVER reproduction bench — experiments %s in %s mode\n\n%!"
     (match ids with [] -> "E1..E13, F1, F2, A1, A2" | _ -> String.concat ", " ids)
     (if full then "FULL" else "QUICK");
-  let results = Harness.Registry.run_ids ~mode ids in
+  let timings = Hashtbl.create 32 in
+  let timings_mu = Mutex.create () in
+  let wrap id f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    let dt = Unix.gettimeofday () -. t0 in
+    Mutex.lock timings_mu;
+    Hashtbl.replace timings id dt;
+    Mutex.unlock timings_mu;
+    r
+  in
+  let store =
+    match monitor_json with None -> None | Some _ -> Some (Monitor.create ())
+  in
+  let results =
+    match store with
+    | None -> Harness.Registry.run_ids ~mode ids
+    | Some m ->
+      Monitor.with_monitor m (fun () ->
+          Harness.Registry.run_ids ~wrap ~mode ids)
+  in
   let ok = List.length (List.filter (fun r -> r.Harness.Common.ok) results) in
   Printf.printf "==> %d/%d experiments reproduce the paper's shape.\n\n%!" ok
     (List.length results);
+  (match (store, monitor_json) with
+  | Some m, Some path ->
+    write_monitor_json ~path ~mode:(if full then "full" else "quick") ~results
+      ~timings m
+  | _ -> ());
   run_breakdown ();
   if not skip_micro then run_micro ();
   if ok < List.length results then exit 1

@@ -6,6 +6,7 @@
      resume        resume a churn simulation from a saved snapshot
      byz           inject a Byzantine behaviour into the message engine
      trace         record a deterministic trace + per-primitive profile
+     monitor       time-series sample the paper's invariants, export a dashboard
      init          run only the initialisation phase and report its cost *)
 
 open Cmdliner
@@ -94,6 +95,11 @@ let make_engine ~seed ~params ~n0 ~tau =
   let initial = Harness.Common.initial_population rng ~n:n0 ~tau in
   Engine.create ~seed:(Int64.of_int seed) params ~initial
 
+let write_file path data =
+  let oc = open_out path in
+  output_string oc data;
+  close_out oc
+
 (* ---------------- experiments ---------------- *)
 
 let experiments_cmd =
@@ -115,12 +121,47 @@ let experiments_cmd =
   let list_t =
     Arg.(value & flag & info [ "list" ] ~doc:"List the experiment ids and exit.")
   in
-  let run ids full csv list jobs =
+  let monitor_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "monitor" ] ~docv:"DIR"
+          ~doc:
+            "Sample the paper's invariants while the experiments run and \
+             write DIR/monitor.{jsonl,csv,html}.  Sampling never touches \
+             a random stream, so every table is byte-identical with \
+             monitoring on or off.")
+  in
+  let cadence_t =
+    Arg.(
+      value & opt int 1
+      & info [ "cadence" ] ~docv:"K"
+          ~doc:"Monitor sampling period in sim-time units (with $(b,--monitor)).")
+  in
+  let run ids full csv list monitor_dir cadence jobs =
     setup_jobs jobs;
     if list then begin
-      List.iter (fun (id, _) -> print_endline id) Harness.Registry.all;
+      (* Natural order: alphabetic family, then numeric suffix — so E2
+         sorts before E10 and the ablations lead with A1, A2. *)
+      let natural_key id =
+        let is_digit c = c >= '0' && c <= '9' in
+        let rec first_digit i =
+          if i >= String.length id || is_digit id.[i] then i
+          else first_digit (i + 1)
+        in
+        let split = first_digit 0 in
+        let num =
+          if split >= String.length id then 0
+          else int_of_string (String.sub id split (String.length id - split))
+        in
+        (String.sub id 0 split, num)
+      in
+      Harness.Registry.descriptions
+      |> List.sort (fun (a, _) (b, _) -> compare (natural_key a) (natural_key b))
+      |> List.iter (fun (id, desc) -> Printf.printf "%-4s %s\n" id desc);
       `Ok ()
     end
+    else if cadence < 1 then `Error (true, "cadence must be >= 1")
     else begin
     match List.filter (fun id -> Harness.Registry.find id = None) ids with
     | _ :: _ as unknown ->
@@ -131,7 +172,30 @@ let experiments_cmd =
             (String.concat ", " (List.map fst Harness.Registry.all)) )
     | [] ->
     let mode = if full then Harness.Common.Full else Harness.Common.Quick in
-    let results = Harness.Registry.run_ids ~mode ids in
+    let store =
+      match monitor_dir with
+      | None -> None
+      | Some _ -> Some (Monitor.create ~cadence ())
+    in
+    let results =
+      match store with
+      | None -> Harness.Registry.run_ids ~mode ids
+      | Some m ->
+        Monitor.with_monitor m (fun () -> Harness.Registry.run_ids ~mode ids)
+    in
+    (match (store, monitor_dir) with
+    | Some m, Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      let w name data =
+        let path = Filename.concat dir name in
+        write_file path data;
+        Printf.printf "wrote %s\n" path
+      in
+      w "monitor.jsonl" (Monitor.Export.jsonl_string m);
+      w "monitor.csv" (Monitor.Export.csv_string m);
+      w "monitor.html"
+        (Monitor.Dashboard.render ~title:"nowlib experiments — invariant monitor" m)
+    | _ -> ());
     (match csv with
     | None -> ()
     | Some dir ->
@@ -151,7 +215,12 @@ let experiments_cmd =
     else `Error (false, "some experiments mismatched")
     end
   in
-  let term = Term.(ret (const run $ ids_t $ full_t $ csv_t $ list_t $ jobs_t)) in
+  let term =
+    Term.(
+      ret
+        (const run $ ids_t $ full_t $ csv_t $ list_t $ monitor_t $ cadence_t
+       $ jobs_t))
+  in
   Cmd.v
     (Cmd.info "experiments"
        ~doc:"Run the paper-reproduction experiment suite (DESIGN.md section 4).")
@@ -477,11 +546,6 @@ let trace_msg_cell ~seed ~steps i =
   | Error _ -> failwith "trace: message-level leave failed");
   Metrics.Ledger.total_messages ledger
 
-let write_file path data =
-  let oc = open_out path in
-  output_string oc data;
-  close_out oc
-
 let trace_cmd =
   let scenario_t =
     let scenario_conv =
@@ -581,6 +645,230 @@ let trace_cmd =
           profile report.")
     term
 
+(* ---------------- monitor ---------------- *)
+
+(* One state-level monitor cell: a small Exact_walk engine under paired
+   join/leave churn, sampled through the installed monitor after every
+   step (subject to its cadence). *)
+let monitor_state_cell ~seed ~steps i =
+  let cell_seed = seed + (101 * (i + 1)) in
+  let params =
+    make_params ~n_max:(1 lsl 10) ~k:8 ~tau:0.15 ~exact_walk:true
+      ~no_shuffle:false
+  in
+  let engine = make_engine ~seed:cell_seed ~params ~n0:240 ~tau:0.15 in
+  let labels = [ ("cell", string_of_int i); ("scenario", "state") ] in
+  Monitor.maybe_sample_engine ~labels ~time:0 engine;
+  for step = 1 to steps do
+    ignore (Engine.join engine Node.Honest);
+    ignore (Engine.leave engine (Engine.random_node engine));
+    Monitor.maybe_sample_engine ~labels ~time:step engine
+  done;
+  Metrics.Ledger.total_messages (Engine.ledger engine)
+
+(* One message-level monitor cell: a fixed population where a [byz_tau]
+   fraction of every cluster runs [behavior], driven through the walk /
+   randNum / valChan primitives each step; the monitor samples the
+   cluster/overlay invariants and the honest-side detections are counted
+   directly.  At byz_tau > 1/3 - eps the honest-fraction bound breaches
+   by construction — that is the demonstrated violation path. *)
+let monitor_msg_cell ~seed ~steps ~behavior ~byz_tau i =
+  let cell_seed = seed + (401 * (i + 1)) in
+  let rng = Rng.of_int cell_seed in
+  let ledger = Metrics.Ledger.create () in
+  let n_clusters = 6 and cluster_size = 12 and overlay_degree = 3 in
+  let byz_per_cluster =
+    min cluster_size
+      (int_of_float ((byz_tau *. float_of_int cluster_size) +. 0.5))
+  in
+  let beh node =
+    match Adversary.Behavior.of_name ~seed:(node + 1) behavior with
+    | Ok b -> b
+    | Error _ -> assert false
+  in
+  let cfg =
+    Cluster.Config.build_uniform ~rng ~ledger ~behavior:beh ~n_clusters
+      ~cluster_size ~byz_per_cluster ~overlay_degree ()
+  in
+  let labels = [ ("cell", string_of_int i); ("scenario", "msg") ] in
+  let degree_bound = 2 * overlay_degree in
+  Monitor.maybe_sample_config ~labels ~degree_bound ~time:0 cfg;
+  for step = 1 to steps do
+    (match Cluster.Walk.rand_cl cfg ~start:(step mod n_clusters) with
+    | Ok s ->
+      Monitor.maybe_count ~series:"walk.retry" ~labels ~time:step
+        s.Cluster.Walk.hop_retries
+    | Error _ -> Monitor.maybe_count ~series:"walk.failed" ~labels ~time:step 1);
+    let o = Cluster.Randnum.run cfg ~cluster:(step mod n_clusters) ~range:64 in
+    if o.Cluster.Randnum.stalled then
+      Monitor.maybe_count ~series:"randnum.stall" ~labels ~time:step 1;
+    let payload = 1 + Rng.int rng 1_000 in
+    let res =
+      Cluster.Valchan.transmit cfg ~src_cluster:(step mod n_clusters)
+        ~dst_cluster:((step + 1) mod n_clusters) ~payload ()
+    in
+    if
+      List.exists
+        (fun (_, v) -> match v with Some v -> v <> payload | None -> false)
+        res.Cluster.Valchan.verdicts
+    then Monitor.maybe_count ~series:"valchan.forged" ~labels ~time:step 1;
+    Monitor.maybe_sample_config ~labels ~degree_bound ~time:step cfg
+  done;
+  Metrics.Ledger.total_messages ledger
+
+let monitor_cmd =
+  let scenario_t =
+    let scenario_conv =
+      Arg.enum [ ("mixed", `Mixed); ("state", `State); ("msg", `Msg) ]
+    in
+    Arg.(
+      value & pos 0 scenario_conv `Mixed
+      & info [] ~docv:"SCENARIO"
+          ~doc:
+            "What to monitor: $(b,state) (engine cells), $(b,msg) \
+             (message-level cells with injected Byzantine behaviour) or \
+             $(b,mixed) (alternating; default).")
+  in
+  let out_t =
+    Arg.(
+      value & opt string "monitor.jsonl"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the JSONL series to FILE.")
+  in
+  let csv_out_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"FILE" ~doc:"Also write the flat CSV to FILE.")
+  in
+  let html_t =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "html" ] ~docv:"FILE"
+          ~doc:
+            "Also write the self-contained SVG dashboard (no external \
+             assets) to FILE.")
+  in
+  let cells_t =
+    Arg.(
+      value & opt int 4
+      & info [ "cells" ] ~docv:"CELLS"
+          ~doc:
+            "Independent simulation cells, fanned out on the Exec pool; \
+             every output is byte-identical for any $(b,-j).")
+  in
+  let mon_steps_t =
+    Arg.(
+      value & opt int 30
+      & info [ "steps" ] ~docv:"STEPS" ~doc:"Operations per cell.")
+  in
+  let cadence_t =
+    Arg.(
+      value & opt int 1
+      & info [ "cadence" ] ~docv:"K"
+          ~doc:"Sample the gauges every K-th sim-time step.")
+  in
+  let behavior_t =
+    Arg.(
+      value & opt string "equivocate"
+      & info [ "behavior" ] ~docv:"BEHAVIOR"
+          ~doc:
+            "Byzantine behaviour for the msg cells ($(b,byz --list) shows \
+             the set).")
+  in
+  let byz_tau_t =
+    Arg.(
+      value & opt float 0.15
+      & info [ "byz-tau" ] ~docv:"TAU"
+          ~doc:
+            "Corrupted fraction of every msg-cell cluster; above 1/3 the \
+             honest-fraction bound breaches and the monitor records the \
+             violations.")
+  in
+  let run scenario out csv html cells steps cadence behavior byz_tau seed jobs =
+    setup_jobs jobs;
+    if cells < 1 then `Error (true, "need at least one cell")
+    else if steps < 1 then `Error (true, "need at least one step")
+    else if cadence < 1 then `Error (true, "cadence must be >= 1")
+    else if byz_tau < 0.0 || byz_tau > 1.0 then
+      `Error (true, "byz-tau must be within [0, 1]")
+    else
+      match Adversary.Behavior.of_name behavior with
+      | Error msg -> `Error (false, msg)
+      | Ok _ ->
+        let store = Monitor.create ~cadence () in
+        (* The trace collector runs alongside the monitor: after the run,
+           the byz.* deviation points it gathered are folded back into the
+           store as per-window counter series. *)
+        Trace.start ();
+        let cell i =
+          match scenario with
+          | `State -> monitor_state_cell ~seed ~steps i
+          | `Msg -> monitor_msg_cell ~seed ~steps ~behavior ~byz_tau i
+          | `Mixed ->
+            if i mod 2 = 0 then monitor_state_cell ~seed ~steps i
+            else monitor_msg_cell ~seed ~steps ~behavior ~byz_tau i
+        in
+        let totals =
+          Monitor.with_monitor store (fun () ->
+              Exec.par_map cell (List.init cells (fun i -> i)))
+        in
+        let dump = Trace.stop () in
+        Monitor.Probe.ingest_trace store ~labels:[ ("source", "trace") ]
+          ~bucket:50 dump;
+        write_file out (Monitor.Export.jsonl_string store);
+        Printf.printf "wrote %s\n" out;
+        (match csv with
+        | None -> ()
+        | Some p ->
+          write_file p (Monitor.Export.csv_string store);
+          Printf.printf "wrote %s\n" p);
+        (match html with
+        | None -> ()
+        | Some p ->
+          write_file p (Monitor.Dashboard.render store);
+          Printf.printf "wrote %s\n" p);
+        let scenario_name =
+          match scenario with `Mixed -> "mixed" | `State -> "state" | `Msg -> "msg"
+        in
+        Printf.printf
+          "scenario %s: %d cells x %d steps (cadence %d), %d simulated \
+           messages\n"
+          scenario_name cells steps cadence
+          (List.fold_left ( + ) 0 totals);
+        Printf.printf "samples: %d   violations: %d\n"
+          (Monitor.Store.n_samples store)
+          (Monitor.Store.n_violations store);
+        let tally =
+          List.fold_left
+            (fun acc (v : Monitor.Store.violation) ->
+              match acc with
+              | (inv, n) :: rest when inv = v.Monitor.Store.invariant ->
+                (inv, n + 1) :: rest
+              | _ -> (v.Monitor.Store.invariant, 1) :: acc)
+            []
+            (Monitor.Store.violations store)
+          |> List.rev
+        in
+        if tally <> [] then begin
+          print_endline "breached invariants:";
+          List.iter (fun (inv, n) -> Printf.printf "  %-24s %6d\n" inv n) tally
+        end;
+        `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ scenario_t $ out_t $ csv_out_t $ html_t $ cells_t
+       $ mon_steps_t $ cadence_t $ behavior_t $ byz_tau_t $ seed_t $ jobs_t))
+  in
+  Cmd.v
+    (Cmd.info "monitor"
+       ~doc:
+         "Time-series sample the paper's invariants over a deterministic \
+          scenario and export JSONL / CSV / an SVG dashboard.")
+    term
+
 (* ---------------- init ---------------- *)
 
 let init_cmd =
@@ -611,4 +899,7 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ experiments_cmd; churn_cmd; resume_cmd; byz_cmd; trace_cmd; init_cmd ]))
+          [
+            experiments_cmd; churn_cmd; resume_cmd; byz_cmd; trace_cmd;
+            monitor_cmd; init_cmd;
+          ]))

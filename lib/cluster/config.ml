@@ -62,6 +62,13 @@ let n_nodes t = Hashtbl.length t.node_home
 let max_cluster_size t =
   Hashtbl.fold (fun _ m acc -> max acc (List.length m)) t.clusters 0
 
+let byz_count t cid =
+  List.length (List.filter (is_byzantine t) (members t cid))
+
+let honest_fraction t cid =
+  let n = size t cid in
+  if n = 0 then 1.0 else float_of_int (n - byz_count t cid) /. float_of_int n
+
 let honest_majority t cid =
   let m = members t cid in
   let honest = List.length (List.filter (fun node -> not (is_byzantine t node)) m) in

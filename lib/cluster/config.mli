@@ -71,6 +71,14 @@ val n_nodes : t -> int
 val max_cluster_size : t -> int
 (** Size of the largest cluster (0 when there are none). *)
 
+val byz_count : t -> int -> int
+(** Byzantine member count of a cluster; raises [Not_found] for unknown
+    ids.  O(size) — intended for monitoring probes, not hot paths. *)
+
+val honest_fraction : t -> int -> float
+(** Honest members over total members of a cluster ([1.0] when empty);
+    raises [Not_found] for unknown ids. *)
+
 val honest_majority : t -> int -> bool
 (** More than 2/3 of the cluster's members are honest. *)
 

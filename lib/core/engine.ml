@@ -610,6 +610,11 @@ let byz_fractions t =
     (fun cid -> Cluster_table.byz_fraction t.tbl cid)
     (Cluster_table.cluster_ids t.tbl)
 
+let cluster_stats t =
+  List.map
+    (fun cid -> (cid, size t cid, Cluster_table.byz_count t.tbl cid))
+    (Cluster_table.cluster_ids t.tbl)
+
 let overlay_health ?spectral_iterations t = Over.health ?spectral_iterations t.over
 
 type batch_op = Batch_join of Node.honesty | Batch_leave of Node.id

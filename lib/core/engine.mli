@@ -117,6 +117,11 @@ val violation_events : t -> int
 val cluster_sizes : t -> int list
 val byz_fractions : t -> float list
 
+val cluster_stats : t -> (int * int * int) list
+(** [(cluster id, size, Byzantine member count)] per live cluster, sorted
+    by id — the per-cluster probe the invariant monitor samples (integer
+    counts so bound checks avoid float rounding at exactly 2/3). *)
+
 val overlay_health : ?spectral_iterations:int -> t -> Over.health
 
 type batch_op = Batch_join of Node.honesty | Batch_leave of Node.id

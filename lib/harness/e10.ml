@@ -22,7 +22,7 @@ type checkpoint = {
   window_cost : float;  (** mean messages per op since the last checkpoint *)
 }
 
-let run_schedule engine ~tau ~seed ~period ~checkpoints_per_phase =
+let run_schedule engine ~variant ~tau ~seed ~period ~checkpoints_per_phase =
   let driver =
     Adversary.create ~seed ~tau ~strategy:(Adversary.Grow_shrink period) engine
   in
@@ -45,7 +45,12 @@ let run_schedule engine ~tau ~seed ~period ~checkpoints_per_phase =
         window_cost = float_of_int (msgs - !last_msgs) /. float_of_int every;
       }
       :: !acc;
-    last_msgs := msgs
+    last_msgs := msgs;
+    (* No-op without an installed monitor; the static baseline's size
+       blow-up deterministically shows up as cluster.size violations. *)
+    Monitor.maybe_sample_engine
+      ~labels:[ ("experiment", "E10"); ("variant", variant) ]
+      ~time:step engine
   in
   let total = 2 * period in
   for step = 1 to total do
@@ -71,10 +76,12 @@ let run ?(mode = Common.Quick) ?(seed = 1010L) () =
   let maxs = Params.max_cluster_size params in
   let target = Params.target_cluster_size params in
   let now_cps, now_minhf =
-    run_schedule now_engine ~tau ~seed ~period ~checkpoints_per_phase:4
+    run_schedule now_engine ~variant:"now" ~tau ~seed ~period
+      ~checkpoints_per_phase:4
   in
   let static_cps, _ =
-    run_schedule static_engine ~tau ~seed ~period ~checkpoints_per_phase:4
+    run_schedule static_engine ~variant:"static" ~tau ~seed ~period
+      ~checkpoints_per_phase:4
   in
   let table =
     Table.create

@@ -70,10 +70,23 @@ let pair_config ~rng ~byz ~behavior =
   ignore (Graph.add_edge overlay 0 1);
   Config.make ~rng ~byzantine ~clusters:[ (0, src); (1, dst) ] ~overlay ()
 
-let run_a_cell ~rng ~trials (bname, behavior) byz =
+(* Cells sample their (already-built) configuration and export their
+   deviation counters into an installed monitor; probes are read-only and
+   the hooks draw nothing from [rng], so rows are byte-identical with
+   monitoring on or off.  [index] is the cell's position in the spec list,
+   used as the monitor's time axis. *)
+let cell_labels ~part ~bname ~byz =
+  [
+    ("behavior", bname); ("byz", string_of_int byz); ("experiment", "E13");
+    ("part", part);
+  ]
+
+let run_a_cell ~rng ~index ~trials (bname, behavior) byz =
+  let labels = cell_labels ~part:"A.valchan" ~bname ~byz in
   let honest_ok = ref 0 and forged = ref 0 and rejected = ref 0 in
-  for _ = 1 to trials do
+  for t = 1 to trials do
     let cfg = pair_config ~rng ~byz ~behavior in
+    if t = 1 then Monitor.maybe_sample_config ~labels ~time:index cfg;
     (* Payloads below 10_000 can never collide with a forged value. *)
     let payload = 1 + Rng.int rng 1_000 in
     let res = Valchan.transmit cfg ~src_cluster:0 ~dst_cluster:1 ~payload () in
@@ -97,6 +110,7 @@ let run_a_cell ~rng ~trials (bname, behavior) byz =
          the run completed. *)
       !honest_ok + !forged + !rejected = trials
   in
+  Monitor.maybe_count ~series:"valchan.forged" ~labels ~time:index !forged;
   {
     part = "A.valchan";
     behavior = bname;
@@ -125,8 +139,11 @@ let uniform_buckets counts ~trials =
   let expected = trials / b_range in
   Array.for_all (fun c -> 2 * c >= expected && c <= 2 * expected) counts
 
-let run_b_uniform ~rng ~trials bname behavior byz =
+let run_b_uniform ~rng ~index ~trials bname behavior byz =
   let cfg = single_config ~rng ~byz ~behavior in
+  Monitor.maybe_sample_config
+    ~labels:(cell_labels ~part:"B.randnum" ~bname ~byz)
+    ~time:index cfg;
   let counts = Array.make b_range 0 in
   for _ = 1 to trials do
     let o = Randnum.run cfg ~cluster:0 ~range:b_range in
@@ -146,8 +163,10 @@ let run_b_uniform ~rng ~trials bname behavior byz =
     cell_ok = ok;
   }
 
-let run_b_stall ~rng ~trials byz =
+let run_b_stall ~rng ~index ~trials byz =
   let cfg = single_config ~rng ~byz ~behavior:(fun _ -> B.Silent) in
+  let labels = cell_labels ~part:"B.randnum" ~bname:"silent" ~byz in
+  Monitor.maybe_sample_config ~labels ~time:index cfg;
   let stalls = ref 0 and secure = ref true in
   for _ = 1 to trials do
     let o = Randnum.run cfg ~cluster:0 ~range:b_range in
@@ -160,6 +179,7 @@ let run_b_stall ~rng ~trials byz =
     (if should_stall then !stalls = trials else !stalls = 0)
     && !secure = should_be_secure
   in
+  Monitor.maybe_count ~series:"randnum.stall" ~labels ~time:index !stalls;
   {
     part = "B.randnum";
     behavior = "silent";
@@ -187,11 +207,13 @@ let c_behaviors =
 
 let c_byz_counts = [ 0; 3; 7 ]
 
-let run_c_cell ~rng ~trials (bname, behavior) byz =
+let run_c_cell ~rng ~index ~trials (bname, behavior) byz =
   let cfg =
     Config.build_uniform ~rng ~behavior ~n_clusters:c_clusters ~cluster_size:c_size
       ~byz_per_cluster:byz ~overlay_degree:3 ()
   in
+  let labels = cell_labels ~part:"C.walk" ~bname ~byz in
+  Monitor.maybe_sample_config ~labels ~degree_bound:6 ~time:index cfg;
   let cluster_ids = Config.cluster_ids cfg in
   let ok_walks = ref 0 and failed = ref 0 and misblamed = ref 0 and retries = ref 0 in
   for t = 1 to trials do
@@ -211,6 +233,7 @@ let run_c_cell ~rng ~trials (bname, behavior) byz =
     else if 2 * byz > c_size then !failed = trials
     else true
   in
+  Monitor.maybe_count ~series:"walk.retry" ~labels ~time:index !retries;
   {
     part = "C.walk";
     behavior = bname;
@@ -249,15 +272,21 @@ let run ?(mode = Common.Quick) ?(seed = 1313L) () =
         (fun (bname, b) -> List.map (fun byz -> C (bname, b, byz)) c_byz_counts)
         c_behaviors
   in
+  (* The cell index rides along as the monitor's time axis; par_map_trials
+     splits per-cell rngs by submission index, so the zip changes nothing
+     about any cell's random stream. *)
   let rows =
     Common.par_map_trials ~seed
-      (fun ~rng spec ->
+      (fun ~rng (index, spec) ->
         match spec with
-        | A (bname, b, byz) -> run_a_cell ~rng ~trials:a_trials (bname, b) byz
-        | B_uniform (bname, b, byz) -> run_b_uniform ~rng ~trials:b_trials bname b byz
-        | B_stall byz -> run_b_stall ~rng ~trials:b_trials byz
-        | C (bname, b, byz) -> run_c_cell ~rng ~trials:c_trials (bname, b) byz)
-      specs
+        | A (bname, b, byz) ->
+          run_a_cell ~rng ~index ~trials:a_trials (bname, b) byz
+        | B_uniform (bname, b, byz) ->
+          run_b_uniform ~rng ~index ~trials:b_trials bname b byz
+        | B_stall byz -> run_b_stall ~rng ~index ~trials:b_trials byz
+        | C (bname, b, byz) ->
+          run_c_cell ~rng ~index ~trials:c_trials (bname, b) byz)
+      (List.mapi (fun index spec -> (index, spec)) specs)
   in
   let table =
     Table.create

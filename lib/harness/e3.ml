@@ -42,7 +42,13 @@ let run ?(mode = Common.Quick) ?(seed = 303L) () =
         ~n0:1500 ()
     in
     let driver = Adversary.create ~seed ~tau ~strategy:v.strategy engine in
-    Adversary.run driver ~steps ~on_sample:(fun _ -> ());
+    (* The monitor hook is a no-op unless a monitor is installed, and the
+       probes only read engine state — rows are byte-identical either
+       way (the zero-perturbation test pins this). *)
+    Adversary.run driver ~steps ~on_sample:(fun d ->
+        Monitor.maybe_sample_engine
+          ~labels:[ ("experiment", "E3"); ("variant", v.name) ]
+          ~time:(Adversary.steps_done d) (Adversary.engine d));
     let minhf = Adversary.min_honest_fraction_seen driver in
     let target_frac = Adversary.target_byz_fraction driver in
     let violations = Engine.violations_now engine in

@@ -21,11 +21,34 @@ let all : (string * runner) list =
     ("A2", fun mode -> A2.run ~mode ());
   ]
 
+let descriptions : (string * string) list =
+  [
+    ("E1", "Lemma 1 — >2/3 honest after full exchange (Chernoff tails)");
+    ("E2", "Lemmas 2-3 — bounded divergence and O(log N) pull-back");
+    ("E3", "Theorem 3 — all clusters >2/3 honest after polynomial churn");
+    ("E4", "OVER — expander maintenance under polynomial vertex churn");
+    ("E5", "Polylogarithmic maintenance costs (state vs message engines)");
+    ("E6", "Initialisation cost O(N^{3/2} log N)");
+    ("E7", "Cluster sizes stay within [k log N / l, l k log N]");
+    ("E8", "Section 6 — broadcast ~O(n) vs O(n^2); sampling polylog vs O(n)");
+    ("E9", "CTRW mixes to uniform; randCl attains |C|/n");
+    ("E10", "Polynomial size variation with a dynamic number of clusters");
+    ("E11", "Remark 2 — per-cluster Byzantine fraction at most 1/r (whp)");
+    ("E12", "End-to-end message-level NOW (highest-fidelity validation)");
+    ("E13", "Active Byzantine behaviour injection at protocol thresholds");
+    ("F1", "Fig. 1 — initialisation vs maintenance costs");
+    ("F2", "Fig. 2 — per-operation maintenance costs");
+    ("A1", "Ablation — the two Merge semantics");
+    ("A2", "Ablation — CTRW duration: mixing quality vs message cost");
+  ]
+
 let find id =
   let id = String.uppercase_ascii id in
   List.assoc_opt id all
 
-let run_ids ~mode ids =
+let describe id = List.assoc_opt (String.uppercase_ascii id) descriptions
+
+let run_ids ?(wrap = fun _id f -> f ()) ~mode ids =
   let selected =
     match ids with
     | [] -> all
@@ -45,6 +68,8 @@ let run_ids ~mode ids =
      registry order, so the output is identical for any -j.  Experiments'
      own par_map calls degrade to sequential inside a pool worker, keeping
      the domain count bounded. *)
-  let results = Exec.par_map (fun (_, runner) -> runner mode) selected in
+  let results =
+    Exec.par_map (fun (id, runner) -> wrap id (fun () -> runner mode)) selected
+  in
   List.iter Common.print_result results;
   results

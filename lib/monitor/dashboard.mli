@@ -1,0 +1,16 @@
+(** Self-contained static HTML dashboard for a monitor store.
+
+    One card per (series, label set) with an inline SVG time-series chart:
+    the series as a 2px line, any matching [<series>.bound] series drawn
+    as a dashed critical band edge, violation events as marked points, and
+    native SVG tooltips on hover (no scripts, no external assets — the
+    file renders offline and is byte-deterministic: its bytes depend only
+    on the recorded data, never on wall-clock time or scheduling).  Light
+    and dark palettes are both embedded, selected by
+    [prefers-color-scheme]; every chart has a [<details>] data table and
+    the violations are listed in full, so no reading depends on colour or
+    hover alone. *)
+
+val render : ?title:string -> Store.t -> string
+(** The complete HTML document ([title] defaults to
+    ["nowlib invariant monitor"]). *)

@@ -1,0 +1,29 @@
+(** Byte-deterministic serialisation of a monitor store.
+
+    Both exporters render {!Store.samples} / {!Store.violations} — already
+    in canonical order — with a fixed key order and the shared
+    {!Store.float_repr} number format, so the same recorded data always
+    yields the same bytes regardless of worker count or recording order
+    (CI diffs the output across reruns and [-j] values). *)
+
+val to_jsonl : Buffer.t -> Store.t -> unit
+(** One JSON object per line: every sample
+    ([{"labels":…,"series":…,"time":…,"type":…,"value":…}] with [type]
+    one of [gauge]/[counter]/[histogram]), then every violation
+    ([{"bound":…,"detail":…,"invariant":…,"labels":…,"observed":…,
+    "time":…,"type":"violation"}]), then a trailing
+    [{"samples":…,"type":"meta","violations":…}] summary line.  Keys are
+    emitted alphabetically. *)
+
+val to_csv : Buffer.t -> Store.t -> unit
+(** Flat CSV with header
+    [type,series,labels,time,value,bound,detail]: samples first (empty
+    [bound]/[detail]), then violations (series column holds the invariant,
+    value column the observed value).  Labels are joined as
+    [k=v;k=v]; fields are quoted per RFC 4180 when needed. *)
+
+val jsonl_string : Store.t -> string
+(** {!to_jsonl} into a fresh string. *)
+
+val csv_string : Store.t -> string
+(** {!to_csv} into a fresh string. *)

@@ -1,0 +1,106 @@
+type kind = Gauge | Counter | Histogram
+
+let kind_name = function
+  | Gauge -> "gauge"
+  | Counter -> "counter"
+  | Histogram -> "histogram"
+
+let kind_rank = function Gauge -> 0 | Counter -> 1 | Histogram -> 2
+
+type sample = {
+  kind : kind;
+  series : string;
+  labels : (string * string) list;
+  time : int;
+  value : float;
+}
+
+type violation = {
+  invariant : string;
+  v_labels : (string * string) list;
+  v_time : int;
+  observed : float;
+  bound : float;
+  detail : string;
+}
+
+type t = {
+  mutex : Mutex.t;
+  sample_cadence : int;
+  mutable recorded : sample list;
+  mutable breached : violation list;
+}
+
+let create ?(cadence = 1) () =
+  if cadence < 1 then invalid_arg "Monitor.Store.create: cadence must be >= 1";
+  { mutex = Mutex.create (); sample_cadence = cadence; recorded = []; breached = [] }
+
+let cadence t = t.sample_cadence
+let due t ~time = time mod t.sample_cadence = 0
+
+let sort_labels labels =
+  List.sort_uniq (fun (a, _) (b, _) -> String.compare a b) labels
+
+(* The canonical total order: every exporter serialises in this order, so
+   output bytes never depend on which domain recorded a point first. *)
+let compare_labels a b =
+  compare (a : (string * string) list) b
+
+let compare_sample a b =
+  let c = String.compare a.series b.series in
+  if c <> 0 then c
+  else
+    let c = compare_labels a.labels b.labels in
+    if c <> 0 then c
+    else
+      let c = compare a.time b.time in
+      if c <> 0 then c
+      else
+        let c = compare (kind_rank a.kind) (kind_rank b.kind) in
+        if c <> 0 then c else compare a.value b.value
+
+let compare_violation a b =
+  let c = String.compare a.invariant b.invariant in
+  if c <> 0 then c
+  else
+    let c = compare_labels a.v_labels b.v_labels in
+    if c <> 0 then c
+    else
+      let c = compare a.v_time b.v_time in
+      if c <> 0 then c
+      else
+        let c = compare a.observed b.observed in
+        if c <> 0 then c
+        else
+          let c = compare a.bound b.bound in
+          if c <> 0 then c else String.compare a.detail b.detail
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let add t kind ~series ?(labels = []) ~time value =
+  if Float.is_finite value then begin
+    let s = { kind; series; labels = sort_labels labels; time; value } in
+    locked t (fun () -> t.recorded <- s :: t.recorded)
+  end
+
+let record_violation ?(labels = []) t ~invariant ~time ~observed ~bound ~detail =
+  let v =
+    { invariant; v_labels = sort_labels labels; v_time = time; observed; bound;
+      detail }
+  in
+  locked t (fun () -> t.breached <- v :: t.breached)
+
+let samples t =
+  locked t (fun () -> List.sort compare_sample t.recorded)
+
+let violations t =
+  locked t (fun () -> List.sort compare_violation t.breached)
+
+let n_samples t = locked t (fun () -> List.length t.recorded)
+let n_violations t = locked t (fun () -> List.length t.breached)
+
+let float_repr v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v

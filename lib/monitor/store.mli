@@ -1,0 +1,82 @@
+(** Deterministic time-series storage for the invariant monitor.
+
+    A store accumulates {e samples} (gauge / counter / histogram points
+    keyed by series name, label set and simulation time) and {e violation
+    events} (a paper bound observed broken at a sample point).  Recording
+    is mutex-protected so probes running in {!Exec} worker domains can
+    share one store; determinism comes from the read side instead:
+    {!samples} and {!violations} return the recorded data in a canonical
+    total order, so every exporter's bytes are a pure function of the
+    {e set} of recorded points — which itself is a pure function of the
+    run's seeds — and never of scheduling (the test suite and CI diff the
+    JSONL across reruns and [-j] values). *)
+
+(** What a series measures: an instantaneous level ([Gauge]), a
+    monotonically accumulated or per-window count ([Counter]), or a
+    distribution summary such as a percentile ([Histogram]). *)
+type kind = Gauge | Counter | Histogram
+
+val kind_name : kind -> string
+(** ["gauge"], ["counter"], ["histogram"]. *)
+
+type sample = {
+  kind : kind;
+  series : string;  (** e.g. ["cluster.honest_frac.min"] *)
+  labels : (string * string) list;  (** sorted by key *)
+  time : int;  (** simulation time (steps, trials, rounds) *)
+  value : float;
+}
+
+type violation = {
+  invariant : string;  (** e.g. ["cluster.honest_frac"] *)
+  v_labels : (string * string) list;  (** sorted by key *)
+  v_time : int;
+  observed : float;  (** the offending value *)
+  bound : float;  (** the paper bound it crossed *)
+  detail : string;  (** human-readable context, e.g. ["cluster 3"] *)
+}
+
+type t
+
+val create : ?cadence:int -> unit -> t
+(** A fresh empty store.  [cadence] (default 1) is the sim-time sampling
+    period probes are asked to honour: {!due} holds on every [cadence]-th
+    time value.  Raises [Invalid_argument] if [cadence < 1]. *)
+
+val cadence : t -> int
+(** The configured sampling period. *)
+
+val due : t -> time:int -> bool
+(** [time mod cadence = 0] — whether a probe should sample at [time]. *)
+
+val add :
+  t -> kind -> series:string -> ?labels:(string * string) list -> time:int ->
+  float -> unit
+(** Record one sample.  Labels are sorted by key; non-finite values are
+    silently skipped (the exporters could not represent them and every
+    monitored quantity is finite when defined). *)
+
+val record_violation :
+  ?labels:(string * string) list -> t -> invariant:string -> time:int ->
+  observed:float -> bound:float -> detail:string -> unit
+(** Record an explicit bound-breach event. *)
+
+val samples : t -> sample list
+(** Every recorded sample, sorted by
+    [(series, labels, time, kind, value)] — the canonical order shared by
+    all exporters. *)
+
+val violations : t -> violation list
+(** Every recorded violation, sorted by
+    [(invariant, labels, time, observed, bound, detail)]. *)
+
+val n_samples : t -> int
+(** Recorded sample count. *)
+
+val n_violations : t -> int
+(** Recorded violation count. *)
+
+val float_repr : float -> string
+(** Canonical decimal rendering shared by every exporter: integers
+    without a fractional part, everything else via ["%.9g"] — a pure
+    function of the float's bits, so serialised output is reproducible. *)

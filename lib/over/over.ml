@@ -129,6 +129,7 @@ let graph_health = Overlay_health.graph_health
 
 let health ?spectral_iterations t = graph_health ?spectral_iterations t.g
 
+let health_metrics = Overlay_health.health_metrics
 let pp_health = Overlay_health.pp_health
 
 (* Re-export the alternative overlay construction (this file is the

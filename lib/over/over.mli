@@ -87,6 +87,11 @@ val graph_health : ?spectral_iterations:int -> Dsgraph.Graph.t -> health
 (** The same measurement on any graph (used to compare alternative overlay
     constructions, e.g. {!Cycles}). *)
 
+val health_metrics : health -> (string * float) list
+(** {!Overlay_health.health_metrics}: the record flattened to sorted
+    [(metric name, value)] pairs for time-series consumers (the invariant
+    monitor's overlay probe). *)
+
 val pp_health : Format.formatter -> health -> unit
 
 module Cycles = Cycles

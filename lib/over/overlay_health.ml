@@ -31,6 +31,18 @@ let graph_health ?(spectral_iterations = 500) g =
     sweep_expansion_upper = sweep_upper;
   }
 
+let health_metrics h =
+  [
+    ("connected", if h.connected then 1.0 else 0.0);
+    ("degree.max", float_of_int h.max_degree);
+    ("degree.mean", h.mean_degree);
+    ("degree.min", float_of_int h.min_degree);
+    ("edges", float_of_int h.n_edges);
+    ("expansion.lower", h.spectral_expansion_lower);
+    ("expansion.upper", h.sweep_expansion_upper);
+    ("vertices", float_of_int h.n_vertices);
+  ]
+
 let pp_health ppf h =
   Format.fprintf ppf
     "vertices=%d edges=%d degree[%d..%d] mean=%.1f connected=%b I(G) in [%.3f, %.3f]"

@@ -13,5 +13,17 @@ type health = {
 }
 
 val graph_health : ?spectral_iterations:int -> Dsgraph.Graph.t -> health
+(** Measure a graph: degrees, connectivity and the expansion bounds
+    (spectral lower / sweep-cut upper, power-iteration based and free of
+    randomness).  Degenerate graphs yield non-finite expansion estimates
+    ([infinity] below two vertices, [0] when disconnected). *)
+
+val health_metrics : health -> (string * float) list
+(** The health record flattened to [(metric name, value)] pairs, sorted by
+    name, with [connected] encoded as 0/1 — the shape time-series
+    consumers (the invariant monitor's overlay probe) ingest.  Non-finite
+    expansion estimates are passed through; consumers that cannot
+    represent them must filter. *)
 
 val pp_health : Format.formatter -> health -> unit
+(** One-line human-readable rendering. *)

@@ -425,6 +425,12 @@ module Report = struct
            | 0 -> compare (layer_name l1, n1) (layer_name l2, n2)
            | c -> c)
 
+  (* [Samples.percentile] is nan on an empty store; report 0 instead so a
+     primitive with no closed spans still renders as a finite row. *)
+  let round_percentile a p =
+    if Metrics.Histogram.Samples.count a.round_samples = 0 then 0.0
+    else Metrics.Histogram.Samples.percentile a.round_samples p
+
   let table t =
     let table =
       Metrics.Table.create ~title:"per-primitive profile (by self messages)"
@@ -445,8 +451,8 @@ module Report = struct
             Metrics.Table.I a.self_messages;
             Metrics.Table.I a.rounds;
             Metrics.Table.I a.self_rounds;
-            Metrics.Table.F2 (Metrics.Histogram.Samples.percentile a.round_samples 50.0);
-            Metrics.Table.F2 (Metrics.Histogram.Samples.percentile a.round_samples 95.0);
+            Metrics.Table.F2 (round_percentile a 50.0);
+            Metrics.Table.F2 (round_percentile a 95.0);
           ])
       (ranked t);
     table
@@ -466,7 +472,11 @@ module Report = struct
     List.iter
       (fun ((layer, name), a) ->
         let samples = Metrics.Histogram.Samples.to_array a.round_samples in
-        if Array.length samples > 1 then begin
+        (* n = 1 renders too: a single observation is still a (degenerate)
+           distribution; only a truly empty series is skipped, and an
+           all-equal series widens its range so Histogram.create's
+           [hi > lo] precondition holds. *)
+        if Array.length samples > 0 then begin
           let lo = samples.(0) in
           let hi = samples.(Array.length samples - 1) in
           let hi = if hi > lo then hi else lo +. 1.0 in

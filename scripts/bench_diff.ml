@@ -1,0 +1,328 @@
+(* bench_diff — compare two BENCH_monitor.json files (baseline vs current)
+   and flag out-of-band drift.
+
+   Usage:  dune exec scripts/bench_diff.exe -- BASELINE CURRENT
+
+   Exit codes:
+     0  within band
+     1  drift: an experiment regressed (ok -> not ok), its table shape
+        changed (row count), an invariant aggregate moved, the violation
+        tally changed, or wall time drifted beyond the band
+        (ratio > 2.0 or < 0.5, ignored for runs under 100 ms)
+     2  format error (missing file, unparsable JSON, wrong format version)
+
+   Wall-time drift is inherently machine-dependent, so CI runs the
+   comparator informationally for that class (it tolerates exit 1 from a
+   pure timing drift is a policy choice of the workflow, not of this
+   tool); everything else is deterministic and must match exactly. *)
+
+(* ------------------------------------------------------------------ *)
+(* A minimal JSON reader (objects, arrays, strings, numbers, booleans,
+   null) — just enough for the fixed shape bench/main.ml writes, with no
+   dependencies beyond the stdlib.                                      *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | Obj of (string * json) list
+  | Arr of json list
+  | Str of string
+  | Num of float
+  | Bool of bool
+  | Null
+
+exception Parse_error of string
+
+let parse_json (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      if c = '"' then Buffer.contents buf
+      else if c = '\\' then begin
+        if !pos >= n then fail "unterminated escape";
+        let e = s.[!pos] in
+        advance ();
+        (match e with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'u' ->
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let hex = String.sub s !pos 4 in
+          pos := !pos + 4;
+          (* The writer never emits non-ASCII; decode the BMP code point
+             naively as a byte when it fits, else a '?'. *)
+          let code =
+            try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
+          in
+          Buffer.add_char buf (if code < 128 then Char.chr code else '?')
+        | _ -> fail "unknown escape");
+        loop ()
+      end
+      else begin
+        Buffer.add_char buf c;
+        loop ()
+      end
+    in
+    loop ()
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      (c >= '0' && c <= '9')
+      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    let lit = String.sub s start (!pos - start) in
+    match float_of_string_opt lit with
+    | Some f -> Num f
+    | None -> fail (Printf.sprintf "bad number %S" lit)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec members acc =
+          skip_ws ();
+          let key = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            members ((key, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((key, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        members []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec elements acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            elements (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        elements []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> parse_number ()
+    | None -> fail "unexpected end of input"
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let format_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "bench_diff: format error: %s\n" msg;
+      exit 2)
+    fmt
+
+let member name = function
+  | Obj fields -> (
+    match List.assoc_opt name fields with
+    | Some v -> v
+    | None -> format_error "missing field %S" name)
+  | _ -> format_error "expected an object holding %S" name
+
+let to_num name = function
+  | Num f -> f
+  | Null -> nan
+  | _ -> format_error "field %S is not a number" name
+
+let num name j = to_num name (member name j)
+
+let load path =
+  if not (Sys.file_exists path) then format_error "no such file: %s" path;
+  let ic = open_in_bin path in
+  let data = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let j = try parse_json data with Parse_error m -> format_error "%s: %s" path m in
+  if num "format" j <> 1.0 then format_error "%s: unknown format version" path;
+  j
+
+(* ------------------------------------------------------------------ *)
+(* Comparison                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let drift = ref false
+
+let report fmt =
+  Printf.ksprintf
+    (fun msg ->
+      drift := true;
+      Printf.printf "DRIFT  %s\n" msg)
+    fmt
+
+let info fmt = Printf.ksprintf (fun msg -> Printf.printf "ok     %s\n" msg) fmt
+
+let wall_band_lo = 0.5
+let wall_band_hi = 2.0
+let wall_floor = 0.1 (* runs under 100 ms are all noise *)
+let float_tol = 1e-6
+
+let experiments j =
+  match member "experiments" j with
+  | Arr items ->
+    List.map
+      (fun item ->
+        match member "id" item with
+        | Str id -> (id, item)
+        | _ -> format_error "experiment id is not a string")
+      items
+  | _ -> format_error "\"experiments\" is not an array"
+
+let compare_experiments base cur =
+  let b = experiments base and c = experiments cur in
+  List.iter
+    (fun (id, bx) ->
+      match List.assoc_opt id c with
+      | None -> report "experiment %s disappeared from the current run" id
+      | Some cx ->
+        let b_ok = member "ok" bx = Bool true in
+        let c_ok = member "ok" cx = Bool true in
+        if b_ok && not c_ok then
+          report "%s: paper-shape assertion regressed (ok -> not ok)" id
+        else if (not b_ok) && c_ok then
+          info "%s: paper-shape assertion now passes (was failing)" id;
+        let b_rows = num "rows" bx and c_rows = num "rows" cx in
+        if b_rows <> c_rows then
+          report "%s: table shape changed (%g rows -> %g rows)" id b_rows c_rows;
+        let b_wall = num "wall_seconds" bx and c_wall = num "wall_seconds" cx in
+        if b_wall >= wall_floor || c_wall >= wall_floor then begin
+          let ratio = if b_wall > 0.0 then c_wall /. b_wall else infinity in
+          if ratio > wall_band_hi then
+            report "%s: wall time %.3fs -> %.3fs (%.2fx, band <= %.1fx)" id
+              b_wall c_wall ratio wall_band_hi
+          else if ratio < wall_band_lo then
+            report "%s: wall time %.3fs -> %.3fs (%.2fx, band >= %.1fx)" id
+              b_wall c_wall ratio wall_band_lo
+        end)
+    b;
+  List.iter
+    (fun (id, _) ->
+      if List.assoc_opt id b = None then
+        info "%s: new experiment (not in baseline)" id)
+    c
+
+let compare_invariants base cur =
+  let b = member "invariants" base and c = member "invariants" cur in
+  let scalar name =
+    let bv = num name b and cv = num name c in
+    let same =
+      (Float.is_nan bv && Float.is_nan cv) || Float.abs (bv -. cv) <= float_tol
+    in
+    if not same then
+      report "invariant %s moved: %g -> %g (seeded value, must not drift)" name
+        bv cv
+  in
+  scalar "samples";
+  scalar "violations";
+  scalar "honest_frac_min";
+  scalar "cluster_size_max";
+  scalar "overlay_degree_max";
+  scalar "expansion_min";
+  let tally j =
+    match member "violations_by_invariant" j with
+    | Obj fields ->
+      List.map (fun (k, v) -> (k, to_num ("violations_by_invariant." ^ k) v)) fields
+    | _ -> format_error "\"violations_by_invariant\" is not an object"
+  in
+  let bt = List.sort compare (tally b) and ct = List.sort compare (tally c) in
+  if bt <> ct then begin
+    let show t =
+      String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%g" k v) t)
+    in
+    report "violation tally changed: {%s} -> {%s}" (show bt) (show ct)
+  end
+
+let () =
+  let usage () =
+    prerr_endline "usage: bench_diff BASELINE.json CURRENT.json";
+    exit 2
+  in
+  match Sys.argv with
+  | [| _; baseline_path; current_path |] ->
+    let base = load baseline_path and cur = load current_path in
+    (match (member "mode" base, member "mode" cur) with
+    | Str bm, Str cm when bm <> cm ->
+      format_error "mode mismatch: baseline %s vs current %s" bm cm
+    | Str _, Str _ -> ()
+    | _ -> format_error "\"mode\" is not a string");
+    compare_experiments base cur;
+    compare_invariants base cur;
+    if !drift then begin
+      print_endline "==> out-of-band drift against the baseline";
+      exit 1
+    end
+    else print_endline "==> within band"
+  | _ -> usage ()

@@ -5,6 +5,7 @@ let () =
       ("exec", Test_exec.suite);
       ("metrics", Test_metrics.suite);
       ("trace", Test_trace.suite);
+      ("monitor", Test_monitor.suite);
       ("graph", Test_graph.suite);
       ("simkernel", Test_simkernel.suite);
       ("agreement", Test_agreement.suite);

@@ -1,0 +1,266 @@
+(* Tests for lib/monitor: the violation path (a corrupted fraction above
+   the paper's threshold must breach the honest-fraction bound; one within
+   tolerance must not), byte-determinism of every exporter across reruns
+   and worker counts, cadence gating, and the zero-perturbation guarantee
+   (an experiment's table is byte-identical with monitoring on or off). *)
+
+module Engine = Now_core.Engine
+module Params = Now_core.Params
+module Node = Now_core.Node
+module Rng = Prng.Rng
+module Store = Monitor.Store
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let population rng n tau =
+  List.init n (fun _ -> if Rng.bernoulli rng tau then Node.Byzantine else Node.Honest)
+
+let small_engine seed =
+  let params =
+    Params.make ~n_max:(1 lsl 10) ~k:3 ~tau:0.15 ~walk_mode:Params.Direct_sample ()
+  in
+  let rng = Rng.create (Int64.of_int (seed + 13)) in
+  Engine.create ~seed:(Int64.of_int seed) params ~initial:(population rng 120 0.15)
+
+let msg_config ~seed ~byz_per_cluster =
+  let rng = Rng.of_int seed in
+  Cluster.Config.build_uniform ~rng ~n_clusters:4 ~cluster_size:12
+    ~byz_per_cluster ~overlay_degree:3 ()
+
+(* --- store basics --- *)
+
+let test_store_canonical_order () =
+  let store = Store.create () in
+  (* Recorded deliberately out of order; reads must come back sorted. *)
+  Store.add store Store.Gauge ~series:"b" ~time:2 2.0;
+  Store.add store Store.Gauge ~series:"a" ~time:5 5.0;
+  Store.add store Store.Gauge ~series:"a" ~time:1 1.0;
+  Store.add store Store.Gauge ~series:"a" ~time:1 nan;
+  (* non-finite skipped *)
+  checki "nan skipped" 3 (Store.n_samples store);
+  let keys =
+    List.map
+      (fun (s : Store.sample) -> (s.Store.series, s.Store.time))
+      (Store.samples store)
+  in
+  checkb "sorted by (series, time)" true
+    (keys = [ ("a", 1); ("a", 5); ("b", 2) ])
+
+let test_cadence_gates_sampling () =
+  let store = Monitor.create ~cadence:2 () in
+  let engine = small_engine 31 in
+  Monitor.with_monitor store (fun () ->
+      for time = 0 to 5 do
+        Monitor.maybe_sample_engine ~time engine
+      done);
+  let times =
+    List.sort_uniq compare
+      (List.map (fun (s : Store.sample) -> s.Store.time) (Store.samples store))
+  in
+  checkb "only times on the cadence" true (times = [ 0; 2; 4 ])
+
+let test_single_monitor_at_a_time () =
+  let a = Monitor.create () and b = Monitor.create () in
+  Monitor.install a;
+  Alcotest.check_raises "second install rejected"
+    (Invalid_argument "Monitor.install: a monitor is already installed")
+    (fun () -> Monitor.install b);
+  ignore (Monitor.uninstall ());
+  checkb "uninstalled" true (not (Monitor.sampling ()))
+
+(* --- the violation path --- *)
+
+(* 5 corrupted of 12 members: 7 honest, 3*7 = 21 <= 2*12 = 24, so every
+   cluster breaches Theorem 3's bound — the monitor must say so. *)
+let test_corruption_above_threshold_breaches () =
+  let store = Store.create () in
+  let cfg = msg_config ~seed:71 ~byz_per_cluster:5 in
+  Monitor.Probe.sample_config store ~time:0 cfg;
+  checkb "violations recorded" true (Store.n_violations store > 0);
+  checki "one per cluster" 4 (Store.n_violations store);
+  List.iter
+    (fun (v : Store.violation) ->
+      checks "honest-fraction invariant" "cluster.honest_frac" v.Store.invariant;
+      checkb "observed below bound" true (v.Store.observed <= v.Store.bound))
+    (Store.violations store)
+
+(* 2 of 12: 10 honest, 3*10 = 30 > 24 — within tolerance, no violations. *)
+let test_corruption_within_tolerance_is_silent () =
+  let store = Store.create () in
+  let cfg = msg_config ~seed:71 ~byz_per_cluster:2 in
+  Monitor.Probe.sample_config store ~time:0 cfg;
+  checki "no violations" 0 (Store.n_violations store);
+  checkb "but gauges sampled" true (Store.n_samples store > 0)
+
+(* Both engines feed the same series families. *)
+let test_both_engines_fill_the_registry () =
+  let store = Store.create () in
+  Monitor.Probe.sample_engine store ~time:0 (small_engine 32);
+  Monitor.Probe.sample_config store ~time:0 (msg_config ~seed:72 ~byz_per_cluster:2);
+  let series_of engine_label =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (s : Store.sample) ->
+           if List.mem ("engine", engine_label) s.Store.labels then
+             Some s.Store.series
+           else None)
+         (Store.samples store))
+  in
+  let state = series_of "state" and msg = series_of "msg" in
+  List.iter
+    (fun family ->
+      checkb ("state engine emits " ^ family) true (List.mem family state);
+      checkb ("msg engine emits " ^ family) true (List.mem family msg))
+    [
+      "cluster.honest_frac.min"; "cluster.size.max"; "overlay.degree.max";
+      "overlay.expansion.lower"; "ledger.messages";
+    ];
+  (* Every emitted series is a registered probe with a description. *)
+  List.iter
+    (fun (s : Store.sample) ->
+      checkb ("registered series: " ^ s.Store.series) true
+        (Monitor.Probe.describe s.Store.series <> None))
+    (Store.samples store)
+
+(* --- exporters --- *)
+
+let monitored_workload ~jobs () =
+  let store = Monitor.create () in
+  Monitor.with_monitor store (fun () ->
+      ignore
+        (Exec.par_map ~jobs
+           (fun i ->
+             let engine = small_engine (200 + i) in
+             let labels = [ ("cell", string_of_int i) ] in
+             Monitor.maybe_sample_engine ~labels ~time:0 engine;
+             for step = 1 to 3 do
+               ignore (Engine.join engine Node.Honest);
+               ignore (Engine.leave engine (Engine.random_node engine));
+               Monitor.maybe_sample_engine ~labels ~time:step engine
+             done;
+             0)
+           [ 0; 1; 2; 3 ]));
+  store
+
+let test_exports_identical_across_reruns () =
+  let a = Monitor.Export.jsonl_string (monitored_workload ~jobs:1 ()) in
+  let b = Monitor.Export.jsonl_string (monitored_workload ~jobs:1 ()) in
+  checkb "non-trivial export" true (String.length a > 1000);
+  checks "same seed, same bytes" a b
+
+let test_exports_identical_across_jobs () =
+  let seq = monitored_workload ~jobs:1 () in
+  let par = monitored_workload ~jobs:4 () in
+  checks "jsonl -j1 = -j4"
+    (Monitor.Export.jsonl_string seq)
+    (Monitor.Export.jsonl_string par);
+  checks "csv -j1 = -j4"
+    (Monitor.Export.csv_string seq)
+    (Monitor.Export.csv_string par);
+  checks "dashboard -j1 = -j4"
+    (Monitor.Dashboard.render seq)
+    (Monitor.Dashboard.render par)
+
+let test_jsonl_shape () =
+  let store = Store.create () in
+  let cfg = msg_config ~seed:73 ~byz_per_cluster:5 in
+  Monitor.Probe.sample_config store ~labels:[ ("quo\"te", "va\\lue") ] ~time:0 cfg;
+  let jsonl = Monitor.Export.jsonl_string store in
+  let lines =
+    List.filter (fun l -> l <> "") (String.split_on_char '\n' jsonl)
+  in
+  checki "one line per sample + violation + meta"
+    (Store.n_samples store + Store.n_violations store + 1)
+    (List.length lines);
+  checkb "label quotes escaped" true (contains jsonl "quo\\\"te");
+  checkb "label backslashes escaped" true (contains jsonl "va\\\\lue");
+  checkb "violations serialised" true (contains jsonl "\"type\":\"violation\"");
+  let meta = List.nth lines (List.length lines - 1) in
+  checkb "meta line last" true (contains meta "\"type\":\"meta\"")
+
+let test_dashboard_shape () =
+  let store = Store.create () in
+  Monitor.Probe.sample_config store ~time:0 (msg_config ~seed:74 ~byz_per_cluster:5);
+  Monitor.Probe.sample_config store ~time:1 (msg_config ~seed:74 ~byz_per_cluster:5);
+  let html = Monitor.Dashboard.render store in
+  checkb "self-contained svg" true (contains html "<svg");
+  checkb "no external scripts" true (not (contains html "<script"));
+  checkb "no external stylesheets" true (not (contains html "link rel"));
+  checkb "violations surfaced" true (contains html "cluster.honest_frac");
+  let clean = Monitor.Dashboard.render (Store.create ()) in
+  checkb "clean run says no breach" true (contains clean "no paper bound")
+
+(* --- trace ingestion --- *)
+
+let test_ingest_trace_buckets_points () =
+  let (), dump =
+    Trace.profiled (fun () ->
+        Trace.point ~time:3 Trace.Msg "byz.equivocate";
+        Trace.point ~time:4 Trace.Msg "byz.equivocate";
+        Trace.point ~time:17 Trace.Msg "walk.retry";
+        Trace.point ~time:4 Trace.Msg "net.send" (* not interesting *))
+  in
+  let store = Store.create () in
+  Monitor.Probe.ingest_trace store ~bucket:10 dump;
+  let counts =
+    List.map
+      (fun (s : Store.sample) -> (s.Store.series, s.Store.time, s.Store.value))
+      (Store.samples store)
+  in
+  checkb "byz points bucketed, net ignored" true
+    (counts = [ ("byz.equivocate", 0, 2.0); ("walk.retry", 10, 1.0) ])
+
+(* --- zero perturbation --- *)
+
+(* The headline guarantee: running E3 (quick) under an installed monitor
+   yields a byte-identical table — probes read engine state but never
+   touch a random stream. *)
+let test_monitoring_is_zero_perturbation () =
+  let run () =
+    match Harness.Registry.find "E3" with
+    | None -> Alcotest.fail "E3 missing from the registry"
+    | Some runner ->
+      let r = runner Harness.Common.Quick in
+      Metrics.Table.to_csv r.Harness.Common.table
+  in
+  let plain = run () in
+  let store = Monitor.create () in
+  let monitored = Monitor.with_monitor store (fun () -> run ()) in
+  checks "E3 table identical with monitoring on" plain monitored;
+  checkb "monitor actually sampled" true (Store.n_samples store > 0);
+  checkb "E3 run is labelled" true
+    (List.exists
+       (fun (s : Store.sample) ->
+         List.mem ("experiment", "E3") s.Store.labels)
+       (Store.samples store))
+
+let suite =
+  [
+    Alcotest.test_case "store canonical order" `Quick test_store_canonical_order;
+    Alcotest.test_case "cadence gates sampling" `Quick test_cadence_gates_sampling;
+    Alcotest.test_case "single monitor at a time" `Quick
+      test_single_monitor_at_a_time;
+    Alcotest.test_case "corruption above threshold breaches" `Quick
+      test_corruption_above_threshold_breaches;
+    Alcotest.test_case "corruption within tolerance is silent" `Quick
+      test_corruption_within_tolerance_is_silent;
+    Alcotest.test_case "both engines fill the registry" `Quick
+      test_both_engines_fill_the_registry;
+    Alcotest.test_case "exports identical across reruns" `Quick
+      test_exports_identical_across_reruns;
+    Alcotest.test_case "exports identical across -j" `Quick
+      test_exports_identical_across_jobs;
+    Alcotest.test_case "jsonl shape and escaping" `Quick test_jsonl_shape;
+    Alcotest.test_case "dashboard shape" `Quick test_dashboard_shape;
+    Alcotest.test_case "trace points fold into counters" `Quick
+      test_ingest_trace_buckets_points;
+    Alcotest.test_case "monitoring is zero-perturbation (E3)" `Slow
+      test_monitoring_is_zero_perturbation;
+  ]

@@ -238,6 +238,43 @@ let test_cross_engine_shared_labels () =
     [ "join.insert"; "exchange.view_update"; "leave.notify" ]
     s0
 
+(* --- report histogram edge cases ---
+   Regression coverage: an empty dump, a single sample and an
+   all-identical sample set used to reach Metrics.Histogram.create with
+   no data or with hi = lo; the report must render all three. *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_report_empty_dump () =
+  let (), dump = Trace.profiled (fun () -> ()) in
+  let rendered = Trace.Report.render (Trace.Report.of_dump dump) in
+  checkb "empty dump renders without raising" true (String.length rendered >= 0)
+
+let test_report_single_sample () =
+  let ledger = Ledger.create () in
+  let (), dump =
+    Trace.profiled (fun () ->
+        Trace.with_span ~ledger Trace.State "solo" (fun () ->
+            Ledger.charge ledger ~label:"x" ~messages:3 ~rounds:1))
+  in
+  let rendered = Trace.Report.render (Trace.Report.of_dump dump) in
+  checkb "single-sample report names the span" true (contains rendered "solo")
+
+let test_report_identical_samples () =
+  (* Five spans with identical (zero) self-cost: the distribution is
+     degenerate, hi = lo. *)
+  let (), dump =
+    Trace.profiled (fun () ->
+        for _ = 1 to 5 do
+          Trace.with_span Trace.State "same" (fun () -> ())
+        done)
+  in
+  let rendered = Trace.Report.render (Trace.Report.of_dump dump) in
+  checkb "degenerate distribution renders" true (contains rendered "same")
+
 (* --- qcheck: spans nest properly for arbitrary call trees --- *)
 
 type tree = T of int * tree list
@@ -322,5 +359,11 @@ let suite =
       test_msg_engine_span_deltas_cover_ledger;
     Alcotest.test_case "cross-engine shared labels" `Quick
       test_cross_engine_shared_labels;
+    Alcotest.test_case "report renders an empty dump" `Quick
+      test_report_empty_dump;
+    Alcotest.test_case "report renders a single sample" `Quick
+      test_report_single_sample;
+    Alcotest.test_case "report renders identical samples" `Quick
+      test_report_identical_samples;
     QCheck_alcotest.to_alcotest prop_spans_nest;
   ]
