@@ -4,10 +4,17 @@
      experiments   run the paper-reproduction experiment suite (E1..E13, F1-F2, A1-A2)
      churn         run a free-form adversarial churn simulation
      resume        resume a churn simulation from a saved snapshot
+     scenario      run a named scenario from the registry on either engine
      byz           inject a Byzantine behaviour into the message engine
      trace         record a deterministic trace + per-primitive profile
      monitor       time-series sample the paper's invariants, export a dashboard
-     init          run only the initialisation phase and report its cost *)
+     init          run only the initialisation phase and report its cost
+
+   The byz / trace / monitor / scenario sub-commands are thin wrappers
+   over lib/scenario: a scenario spec (from the registry or flags) is
+   handed to the engine-agnostic drivers, and every cell derives all its
+   randomness from --seed (default 42) plus the cell index — outputs are
+   byte-identical for any -j and across reruns. *)
 
 open Cmdliner
 
@@ -19,7 +26,13 @@ module Rng = Prng.Rng
 (* ---------------- shared options ---------------- *)
 
 let seed_t =
-  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"SEED"
+        ~doc:
+          "PRNG seed (default 42).  Every sub-command derives all of its \
+           randomness from this seed, so equal invocations produce \
+           byte-identical outputs.")
 
 let n_max_t =
   Arg.(
@@ -396,60 +409,46 @@ let byz_cmd =
       match Adversary.Behavior.of_name behavior with
       | Error msg -> `Error (false, msg)
       | Ok _ ->
-        let beh node =
-          match Adversary.Behavior.of_name ~seed:(node + 1) behavior with
-          | Ok b -> b
-          | Error _ -> assert false
-        in
         Trace.start ();
-        let rng = Rng.of_int (seed + 11) in
-        let ledger = Metrics.Ledger.create () in
         let n_clusters = 6 and cluster_size = 12 in
         let byz_per_cluster =
           min cluster_size
             (int_of_float ((tau *. float_of_int cluster_size) +. 0.5))
         in
-        let cfg =
-          Cluster.Config.build_uniform ~rng ~ledger ~behavior:beh ~n_clusters
-            ~cluster_size ~byz_per_cluster ~overlay_degree:3 ()
+        (* The historical byz geometry as a scenario spec; the primitives
+           are then driven one by one through the message-level driver,
+           on the same [Rng.of_int (seed + 11)] stream as always. *)
+        let spec =
+          {
+            Scenario.Spec.default with
+            Scenario.Spec.name = "byz";
+            churn = Scenario.Spec.Static;
+            drive = Scenario.Spec.no_drive;
+            behavior = Some behavior;
+            n_clusters;
+            cluster_size;
+            overlay_degree = 3;
+            byz_per_cluster = Some byz_per_cluster;
+            randnum_range = 1_000;
+            walk_duration = None;
+          }
         in
+        let d = Scenario.Msg_driver.of_rng ~rng:(Rng.of_int (seed + 11)) spec in
         (* Validated transfers around the overlay. *)
-        let accepted = ref 0 and forged = ref 0 and rejected = ref 0 in
         for i = 1 to trials do
-          let src = i mod n_clusters in
-          let dst = (i + 1) mod n_clusters in
-          let payload = 1 + Rng.int rng 1_000 in
-          let res = Cluster.Valchan.transmit cfg ~src_cluster:src ~dst_cluster:dst ~payload () in
-          if
-            List.exists
-              (fun (_, v) -> match v with Some v -> v <> payload | None -> false)
-              res.Cluster.Valchan.verdicts
-          then incr forged
-          else if res.Cluster.Valchan.unanimous = Some payload then incr accepted
-          else incr rejected
+          Scenario.Msg_driver.valchan_once d ~time:i
         done;
         (* randNum draws. *)
-        let stalled = ref 0 and insecure = ref 0 in
         for i = 1 to trials do
-          let o = Cluster.Randnum.run cfg ~cluster:(i mod n_clusters) ~range:1_000 in
-          if o.Cluster.Randnum.stalled then incr stalled;
-          if not o.Cluster.Randnum.secure then incr insecure
+          Scenario.Msg_driver.randnum_once d ~time:i
         done;
         (* randCl walks. *)
-        let walks_ok = ref 0 and walk_fail = ref 0 and retries = ref 0 in
         for i = 1 to trials do
-          match Cluster.Walk.rand_cl cfg ~start:(i mod n_clusters) with
-          | Ok s ->
-            incr walks_ok;
-            retries := !retries + s.Cluster.Walk.hop_retries
-          | Error _ -> incr walk_fail
+          Scenario.Msg_driver.walk_once d ~time:i
         done;
         (* One full exchange. *)
-        let exchange_ok =
-          match Cluster.Exchange.exchange_all cfg ~cluster:0 with
-          | Ok _ -> true
-          | Error _ -> false
-        in
+        let exchange_ok = Scenario.Msg_driver.exchange d in
+        let s = Scenario.Msg_driver.stats d in
         let dump = Trace.stop () in
         (* Tally the injected deviations (the byz.-prefixed points) and the
            honest-side detections (walk.retry, randnum.stall). *)
@@ -470,11 +469,13 @@ let byz_cmd =
         Printf.printf "behavior %s at tau %.2f: %d/%d corrupted per cluster\n\n"
           behavior tau byz_per_cluster cluster_size;
         Printf.printf "  valchan : %d transfers — %d honest-accepted, %d forged, %d rejected\n"
-          trials !accepted !forged !rejected;
+          trials s.Scenario.Stats.valchan_accepted s.Scenario.Stats.valchan_forged
+          s.Scenario.Stats.valchan_rejected;
         Printf.printf "  randnum : %d draws — %d stalled, %d insecure\n" trials
-          !stalled !insecure;
+          s.Scenario.Stats.randnum_stalls s.Scenario.Stats.randnum_insecure;
         Printf.printf "  randcl  : %d walks — %d completed (%d hop retries), %d failed\n"
-          trials !walks_ok !retries !walk_fail;
+          trials s.Scenario.Stats.walks_ok s.Scenario.Stats.walk_retries
+          s.Scenario.Stats.walks_failed;
         Printf.printf "  exchange: %s\n\n" (if exchange_ok then "completed" else "failed");
         let deviations =
           Hashtbl.fold (fun name c acc -> (name, c) :: acc) tally []
@@ -499,66 +500,73 @@ let byz_cmd =
           every deviation.")
     term
 
+(* ---------------- shared scenario-cell options ---------------- *)
+
+(* The trace / monitor / scenario sub-commands all fan the same cell
+   construction out on the Exec pool: cell [i] of a spec runs on the
+   state-level engine, the message-level engine, or alternates between
+   them ([Scenario.cell_driver]), with all randomness derived from
+   --seed and [i]. *)
+
+let engine_conv =
+  Arg.enum [ ("mixed", `Mixed); ("state", `State); ("msg", `Msg) ]
+
+let engine_pos_t ~what =
+  Arg.(
+    value & pos 0 engine_conv `Mixed
+    & info [] ~docv:"ENGINE"
+        ~doc:
+          (Printf.sprintf
+             "What to %s: $(b,state) (state-level engine cells), $(b,msg) \
+              (message-level kernel cells) or $(b,mixed) (alternating; \
+              default)."
+             what))
+
+let scenario_name_t ~default =
+  Arg.(
+    value & opt string default
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf
+             "Scenario to drive (default $(b,%s)); $(b,scenario --list) \
+              shows the registry.  Strategy scenarios accept parameters, \
+              e.g. $(b,flash-crowd:size=400,at=100)."
+             default))
+
+let opt_steps_t =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "steps" ] ~docv:"STEPS"
+        ~doc:"Operations per cell (default: the scenario's own step count).")
+
+let cells_t ~doc =
+  Arg.(value & opt int 4 & info [ "cells" ] ~docv:"CELLS" ~doc)
+
+(* Resolve the CLI's scenario choices into a runnable spec, or a
+   CLI-friendly error. *)
+let resolve_spec ~engine ~scenario ~steps =
+  match Scenario.of_name ?steps scenario with
+  | Error msg -> Error msg
+  | Ok spec -> (
+    let spec =
+      match steps with
+      | None -> spec
+      | Some steps -> { spec with Scenario.Spec.steps }
+    in
+    match Scenario.check_supported engine spec with
+    | Error msg -> Error msg
+    | Ok () -> Ok spec)
+
+let total_messages results =
+  List.fold_left
+    (fun acc (_, s) -> acc + s.Scenario.Stats.messages)
+    0 results
+
 (* ---------------- trace ---------------- *)
 
-(* One state-level cell: a small Exact_walk engine driven through paired
-   joins and leaves — exercises the randcl/split/merge/exchange spans and
-   the OVER edge points. *)
-let trace_state_cell ~seed ~steps i =
-  let cell_seed = seed + (101 * (i + 1)) in
-  let params =
-    make_params ~n_max:(1 lsl 10) ~k:8 ~tau:0.15 ~exact_walk:true
-      ~no_shuffle:false
-  in
-  let engine = make_engine ~seed:cell_seed ~params ~n0:240 ~tau:0.15 in
-  for _ = 1 to steps do
-    ignore (Engine.join engine Node.Honest);
-    ignore (Engine.leave engine (Engine.random_node engine))
-  done;
-  Metrics.Ledger.total_messages (Engine.ledger engine)
-
-(* One message-level cell: real per-node messages on the simulation kernel
-   — exercises the randnum/walk.token/exchange/join/leave spans and, with
-   --net-detail, the per-message net.* points. *)
-let trace_msg_cell ~seed ~steps i =
-  let cell_seed = seed + (401 * (i + 1)) in
-  let rng = Rng.of_int cell_seed in
-  let ledger = Metrics.Ledger.create () in
-  let n_clusters = 6 in
-  let cfg =
-    Cluster.Config.build_uniform ~rng ~ledger ~n_clusters ~cluster_size:16
-      ~byz_per_cluster:2 ~overlay_degree:3 ()
-  in
-  for s = 1 to steps do
-    match Cluster.Walk.rand_cl cfg ~start:(s mod n_clusters) with
-    | Ok _ -> ()
-    | Error _ -> failwith "trace: message-level walk failed"
-  done;
-  (match Cluster.Exchange.exchange_all cfg ~cluster:0 with
-  | Ok _ -> ()
-  | Error _ -> failwith "trace: message-level exchange failed");
-  let probe = 1_000_000 + cell_seed in
-  (match Cluster.Ops.join cfg ~node:probe ~contact:0 () with
-  | Ok _ -> ()
-  | Error _ -> failwith "trace: message-level join failed");
-  (match Cluster.Ops.leave cfg ~node:probe () with
-  | Ok _ -> ()
-  | Error _ -> failwith "trace: message-level leave failed");
-  Metrics.Ledger.total_messages ledger
-
 let trace_cmd =
-  let scenario_t =
-    let scenario_conv =
-      Arg.enum [ ("mixed", `Mixed); ("state", `State); ("msg", `Msg) ]
-    in
-    Arg.(
-      value & pos 0 scenario_conv `Mixed
-      & info [] ~docv:"SCENARIO"
-          ~doc:
-            "What to trace: $(b,state) (engine cells), $(b,msg) \
-             (message-level kernel cells) or $(b,mixed) (alternating; \
-             default).")
-  in
+  let engine_t = engine_pos_t ~what:"trace" in
   let out_t =
     Arg.(
       value & opt string "trace.jsonl"
@@ -574,17 +582,10 @@ let trace_cmd =
              or chrome://tracing).")
   in
   let cells_t =
-    Arg.(
-      value & opt int 4
-      & info [ "cells" ] ~docv:"CELLS"
-          ~doc:
-            "Independent simulation cells, fanned out on the Exec pool; \
-             the merged trace is byte-identical for any $(b,-j).")
-  in
-  let trace_steps_t =
-    Arg.(
-      value & opt int 12
-      & info [ "steps" ] ~docv:"STEPS" ~doc:"Operations per cell.")
+    cells_t
+      ~doc:
+        "Independent simulation cells, fanned out on the Exec pool; the \
+         merged trace is byte-identical for any $(b,-j)."
   in
   let net_detail_t =
     Arg.(
@@ -594,49 +595,41 @@ let trace_cmd =
             "Also record one point per kernel message, round boundary and \
              walk hop (voluminous).")
   in
-  let run scenario out chrome cells steps net_detail seed jobs =
+  let run engine scenario out chrome cells steps net_detail seed jobs =
     setup_jobs jobs;
     if cells < 1 then `Error (true, "need at least one cell")
-    else begin
-      Trace.start ~net_detail ();
-      let cell i =
-        match scenario with
-        | `State -> trace_state_cell ~seed ~steps i
-        | `Msg -> trace_msg_cell ~seed ~steps i
-        | `Mixed ->
-          if i mod 2 = 0 then trace_state_cell ~seed ~steps i
-          else trace_msg_cell ~seed ~steps i
-      in
-      let totals = Exec.par_map cell (List.init cells (fun i -> i)) in
-      let dump = Trace.stop () in
-      write_file out (Trace.to_jsonl dump);
-      (match chrome with
-      | None -> ()
-      | Some path -> write_file path (Trace.to_chrome dump));
-      let items = Trace.items dump in
-      let spans =
-        List.length
-          (List.filter (function Trace.Span _ -> true | Trace.Mark _ -> false) items)
-      in
-      let scenario_name =
-        match scenario with `Mixed -> "mixed" | `State -> "state" | `Msg -> "msg"
-      in
-      Printf.printf
-        "scenario %s: %d cells x %d steps, %d simulated messages\n\
-         trace: %d spans, %d items, %d dropped -> %s%s\n\n"
-        scenario_name cells steps
-        (List.fold_left ( + ) 0 totals)
-        spans (List.length items) dump.Trace.dropped out
-        (match chrome with None -> "" | Some p -> Printf.sprintf " (+ %s)" p);
-      print_string (Trace.Report.render (Trace.Report.of_dump dump));
-      `Ok ()
-    end
+    else
+      match resolve_spec ~engine ~scenario ~steps with
+      | Error msg -> `Error (false, msg)
+      | Ok spec ->
+        let steps = spec.Scenario.Spec.steps in
+        Trace.start ~net_detail ();
+        let results = Scenario.cells ~engine ~seed ~cells spec in
+        let dump = Trace.stop () in
+        write_file out (Trace.to_jsonl dump);
+        (match chrome with
+        | None -> ()
+        | Some path -> write_file path (Trace.to_chrome dump));
+        let items = Trace.items dump in
+        let spans =
+          List.length
+            (List.filter (function Trace.Span _ -> true | Trace.Mark _ -> false) items)
+        in
+        Printf.printf
+          "scenario %s on %s: %d cells x %d steps, %d simulated messages\n\
+           trace: %d spans, %d items, %d dropped -> %s%s\n\n"
+          spec.Scenario.Spec.name (Scenario.engine_name engine) cells steps
+          (total_messages results) spans (List.length items) dump.Trace.dropped
+          out
+          (match chrome with None -> "" | Some p -> Printf.sprintf " (+ %s)" p);
+        print_string (Trace.Report.render (Trace.Report.of_dump dump));
+        `Ok ()
   in
   let term =
     Term.(
       ret
-        (const run $ scenario_t $ out_t $ chrome_t $ cells_t $ trace_steps_t
-       $ net_detail_t $ seed_t $ jobs_t))
+        (const run $ engine_t $ scenario_name_t ~default:"steady" $ out_t
+       $ chrome_t $ cells_t $ opt_steps_t $ net_detail_t $ seed_t $ jobs_t))
   in
   Cmd.v
     (Cmd.info "trace"
@@ -647,88 +640,8 @@ let trace_cmd =
 
 (* ---------------- monitor ---------------- *)
 
-(* One state-level monitor cell: a small Exact_walk engine under paired
-   join/leave churn, sampled through the installed monitor after every
-   step (subject to its cadence). *)
-let monitor_state_cell ~seed ~steps i =
-  let cell_seed = seed + (101 * (i + 1)) in
-  let params =
-    make_params ~n_max:(1 lsl 10) ~k:8 ~tau:0.15 ~exact_walk:true
-      ~no_shuffle:false
-  in
-  let engine = make_engine ~seed:cell_seed ~params ~n0:240 ~tau:0.15 in
-  let labels = [ ("cell", string_of_int i); ("scenario", "state") ] in
-  Monitor.maybe_sample_engine ~labels ~time:0 engine;
-  for step = 1 to steps do
-    ignore (Engine.join engine Node.Honest);
-    ignore (Engine.leave engine (Engine.random_node engine));
-    Monitor.maybe_sample_engine ~labels ~time:step engine
-  done;
-  Metrics.Ledger.total_messages (Engine.ledger engine)
-
-(* One message-level monitor cell: a fixed population where a [byz_tau]
-   fraction of every cluster runs [behavior], driven through the walk /
-   randNum / valChan primitives each step; the monitor samples the
-   cluster/overlay invariants and the honest-side detections are counted
-   directly.  At byz_tau > 1/3 - eps the honest-fraction bound breaches
-   by construction — that is the demonstrated violation path. *)
-let monitor_msg_cell ~seed ~steps ~behavior ~byz_tau i =
-  let cell_seed = seed + (401 * (i + 1)) in
-  let rng = Rng.of_int cell_seed in
-  let ledger = Metrics.Ledger.create () in
-  let n_clusters = 6 and cluster_size = 12 and overlay_degree = 3 in
-  let byz_per_cluster =
-    min cluster_size
-      (int_of_float ((byz_tau *. float_of_int cluster_size) +. 0.5))
-  in
-  let beh node =
-    match Adversary.Behavior.of_name ~seed:(node + 1) behavior with
-    | Ok b -> b
-    | Error _ -> assert false
-  in
-  let cfg =
-    Cluster.Config.build_uniform ~rng ~ledger ~behavior:beh ~n_clusters
-      ~cluster_size ~byz_per_cluster ~overlay_degree ()
-  in
-  let labels = [ ("cell", string_of_int i); ("scenario", "msg") ] in
-  let degree_bound = 2 * overlay_degree in
-  Monitor.maybe_sample_config ~labels ~degree_bound ~time:0 cfg;
-  for step = 1 to steps do
-    (match Cluster.Walk.rand_cl cfg ~start:(step mod n_clusters) with
-    | Ok s ->
-      Monitor.maybe_count ~series:"walk.retry" ~labels ~time:step
-        s.Cluster.Walk.hop_retries
-    | Error _ -> Monitor.maybe_count ~series:"walk.failed" ~labels ~time:step 1);
-    let o = Cluster.Randnum.run cfg ~cluster:(step mod n_clusters) ~range:64 in
-    if o.Cluster.Randnum.stalled then
-      Monitor.maybe_count ~series:"randnum.stall" ~labels ~time:step 1;
-    let payload = 1 + Rng.int rng 1_000 in
-    let res =
-      Cluster.Valchan.transmit cfg ~src_cluster:(step mod n_clusters)
-        ~dst_cluster:((step + 1) mod n_clusters) ~payload ()
-    in
-    if
-      List.exists
-        (fun (_, v) -> match v with Some v -> v <> payload | None -> false)
-        res.Cluster.Valchan.verdicts
-    then Monitor.maybe_count ~series:"valchan.forged" ~labels ~time:step 1;
-    Monitor.maybe_sample_config ~labels ~degree_bound ~time:step cfg
-  done;
-  Metrics.Ledger.total_messages ledger
-
 let monitor_cmd =
-  let scenario_t =
-    let scenario_conv =
-      Arg.enum [ ("mixed", `Mixed); ("state", `State); ("msg", `Msg) ]
-    in
-    Arg.(
-      value & pos 0 scenario_conv `Mixed
-      & info [] ~docv:"SCENARIO"
-          ~doc:
-            "What to monitor: $(b,state) (engine cells), $(b,msg) \
-             (message-level cells with injected Byzantine behaviour) or \
-             $(b,mixed) (alternating; default).")
-  in
+  let engine_t = engine_pos_t ~what:"monitor" in
   let out_t =
     Arg.(
       value & opt string "monitor.jsonl"
@@ -750,17 +663,10 @@ let monitor_cmd =
              assets) to FILE.")
   in
   let cells_t =
-    Arg.(
-      value & opt int 4
-      & info [ "cells" ] ~docv:"CELLS"
-          ~doc:
-            "Independent simulation cells, fanned out on the Exec pool; \
-             every output is byte-identical for any $(b,-j).")
-  in
-  let mon_steps_t =
-    Arg.(
-      value & opt int 30
-      & info [ "steps" ] ~docv:"STEPS" ~doc:"Operations per cell.")
+    cells_t
+      ~doc:
+        "Independent simulation cells, fanned out on the Exec pool; every \
+         output is byte-identical for any $(b,-j)."
   in
   let cadence_t =
     Arg.(
@@ -785,33 +691,48 @@ let monitor_cmd =
              honest-fraction bound breaches and the monitor records the \
              violations.")
   in
-  let run scenario out csv html cells steps cadence behavior byz_tau seed jobs =
+  let run engine scenario out csv html cells steps cadence behavior byz_tau
+      seed jobs =
     setup_jobs jobs;
     if cells < 1 then `Error (true, "need at least one cell")
-    else if steps < 1 then `Error (true, "need at least one step")
+    else if (match steps with Some s -> s < 1 | None -> false) then
+      `Error (true, "need at least one step")
     else if cadence < 1 then `Error (true, "cadence must be >= 1")
     else if byz_tau < 0.0 || byz_tau > 1.0 then
       `Error (true, "byz-tau must be within [0, 1]")
     else
       match Adversary.Behavior.of_name behavior with
       | Error msg -> `Error (false, msg)
-      | Ok _ ->
+      | Ok _ -> (
+      match resolve_spec ~engine ~scenario ~steps with
+      | Error msg -> `Error (false, msg)
+      | Ok spec ->
+        (* The monitor's msg cells always inject the requested behaviour
+           at the requested corruption level — above 1/3 the honest-
+           fraction bound breaches by construction (the demonstrated
+           violation path). *)
+        let spec =
+          {
+            spec with
+            Scenario.Spec.behavior = Some behavior;
+            byz_per_cluster =
+              Some
+                (min spec.Scenario.Spec.cluster_size
+                   (int_of_float
+                      ((byz_tau
+                       *. float_of_int spec.Scenario.Spec.cluster_size)
+                      +. 0.5)));
+          }
+        in
+        let steps = spec.Scenario.Spec.steps in
         let store = Monitor.create ~cadence () in
         (* The trace collector runs alongside the monitor: after the run,
            the byz.* deviation points it gathered are folded back into the
            store as per-window counter series. *)
         Trace.start ();
-        let cell i =
-          match scenario with
-          | `State -> monitor_state_cell ~seed ~steps i
-          | `Msg -> monitor_msg_cell ~seed ~steps ~behavior ~byz_tau i
-          | `Mixed ->
-            if i mod 2 = 0 then monitor_state_cell ~seed ~steps i
-            else monitor_msg_cell ~seed ~steps ~behavior ~byz_tau i
-        in
-        let totals =
+        let results =
           Monitor.with_monitor store (fun () ->
-              Exec.par_map cell (List.init cells (fun i -> i)))
+              Scenario.cells ~engine ~seed ~cells spec)
         in
         let dump = Trace.stop () in
         Monitor.Probe.ingest_trace store ~labels:[ ("source", "trace") ]
@@ -828,14 +749,11 @@ let monitor_cmd =
         | Some p ->
           write_file p (Monitor.Dashboard.render store);
           Printf.printf "wrote %s\n" p);
-        let scenario_name =
-          match scenario with `Mixed -> "mixed" | `State -> "state" | `Msg -> "msg"
-        in
         Printf.printf
-          "scenario %s: %d cells x %d steps (cadence %d), %d simulated \
+          "scenario %s on %s: %d cells x %d steps (cadence %d), %d simulated \
            messages\n"
-          scenario_name cells steps cadence
-          (List.fold_left ( + ) 0 totals);
+          spec.Scenario.Spec.name (Scenario.engine_name engine) cells steps
+          cadence (total_messages results);
         Printf.printf "samples: %d   violations: %d\n"
           (Monitor.Store.n_samples store)
           (Monitor.Store.n_violations store);
@@ -854,19 +772,85 @@ let monitor_cmd =
           print_endline "breached invariants:";
           List.iter (fun (inv, n) -> Printf.printf "  %-24s %6d\n" inv n) tally
         end;
-        `Ok ()
+        `Ok ())
   in
   let term =
     Term.(
       ret
-        (const run $ scenario_t $ out_t $ csv_out_t $ html_t $ cells_t
-       $ mon_steps_t $ cadence_t $ behavior_t $ byz_tau_t $ seed_t $ jobs_t))
+        (const run $ engine_t $ scenario_name_t ~default:"primitives" $ out_t
+       $ csv_out_t $ html_t $ cells_t $ opt_steps_t $ cadence_t $ behavior_t
+       $ byz_tau_t $ seed_t $ jobs_t))
   in
   Cmd.v
     (Cmd.info "monitor"
        ~doc:
          "Time-series sample the paper's invariants over a deterministic \
           scenario and export JSONL / CSV / an SVG dashboard.")
+    term
+
+(* ---------------- scenario ---------------- *)
+
+let scenario_cmd =
+  let name_t =
+    Arg.(
+      value & pos 0 string "steady"
+      & info [] ~docv:"NAME"
+          ~doc:
+            "Scenario name (default $(b,steady)); strategy scenarios \
+             accept parameters, e.g. $(b,flash-crowd:size=400,at=100).")
+  in
+  let engine_t =
+    Arg.(
+      value & opt engine_conv `Mixed
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Driver to run the cells on: $(b,state), $(b,msg) or \
+             $(b,mixed) (alternating; default).")
+  in
+  let cells_t =
+    cells_t
+      ~doc:
+        "Independent simulation cells, fanned out on the Exec pool; the \
+         report is byte-identical for any $(b,-j)."
+  in
+  let list_t =
+    Arg.(value & flag & info [ "list" ] ~doc:"List the scenario registry and exit.")
+  in
+  let run name engine cells steps list seed jobs =
+    setup_jobs jobs;
+    if list then begin
+      print_catalogue Scenario.catalogue;
+      `Ok ()
+    end
+    else if cells < 1 then `Error (true, "need at least one cell")
+    else if (match steps with Some s -> s < 1 | None -> false) then
+      `Error (true, "need at least one step")
+    else
+      match resolve_spec ~engine ~scenario:name ~steps with
+      | Error msg -> `Error (false, msg)
+      | Ok spec ->
+        let results = Scenario.cells ~engine ~seed ~cells spec in
+        Printf.printf "scenario %s on %s: %d cells x %d steps (seed %d)\n\n"
+          spec.Scenario.Spec.name (Scenario.engine_name engine) cells
+          spec.Scenario.Spec.steps seed;
+        List.iter
+          (fun (label, s) ->
+            Printf.printf "  %-16s %s\n" label (Scenario.Stats.summary s))
+          results;
+        Printf.printf "\ntotal messages: %d\n" (total_messages results);
+        `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ name_t $ engine_t $ cells_t $ opt_steps_t $ list_t
+       $ seed_t $ jobs_t))
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:
+         "Run a named scenario from the registry on the state-level and/or \
+          message-level driver and report per-cell statistics.")
     term
 
 (* ---------------- init ---------------- *)
@@ -900,6 +884,6 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [
-            experiments_cmd; churn_cmd; resume_cmd; byz_cmd; trace_cmd;
-            monitor_cmd; init_cmd;
+            experiments_cmd; churn_cmd; resume_cmd; scenario_cmd; byz_cmd;
+            trace_cmd; monitor_cmd; init_cmd;
           ]))

@@ -25,35 +25,137 @@ let strategy_name = function
 
 let strategy_catalogue =
   [
-    ("random", "neutral background churn: coin-flip joins and leaves");
+    ("random", "neutral background churn: coin-flip joins and leaves [p=JOIN-PROB]");
     ("target", "Section 3.3 attack: re-join until landing in the most corrupted cluster");
     ("dos", "force honest members of the adversary's best cluster out");
-    ("grow-shrink", "oscillate the population between the model's size bounds");
-    ("poisson", "ambient memoryless churn (stationary)");
-    ("flash-crowd", "ambient arrival burst followed by a mass exodus");
-    ("diurnal", "ambient day/night population sinusoid");
+    ("grow-shrink", "oscillate the population between the model's size bounds [period=STEPS]");
+    ("poisson", "ambient memoryless churn (stationary) [ratio=JOIN-PROB]");
+    ("flash-crowd", "ambient arrival burst followed by a mass exodus [size=N,at=STEP,depart=STEP]");
+    ("diurnal", "ambient day/night population sinusoid [period=STEPS,amp=FRACTION]");
   ]
 
 let strategy_names = List.map fst strategy_catalogue
 
+(* "name" or "name:key=value,key=value".  Parameter parsing is shared by
+   every strategy: unknown names and unknown/malformed parameters both get
+   an error that lists what is accepted, matching the byz --list
+   convention. *)
+let catalogue_hint =
+  Printf.sprintf "available: %s" (String.concat ", " strategy_names)
+
+let split_spec s =
+  match String.index_opt s ':' with
+  | None -> (s, "")
+  | Some i ->
+    (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let parse_params ~strategy ~accepted body =
+  if body = "" then Ok []
+  else
+    let parse_one acc part =
+      match acc with
+      | Error _ as e -> e
+      | Ok acc -> (
+        match String.index_opt part '=' with
+        | None ->
+          Error
+            (Printf.sprintf
+               "%s: malformed parameter %S (expected key=value; accepted: %s)"
+               strategy part (String.concat ", " accepted))
+        | Some i ->
+          let key = String.sub part 0 i in
+          let v = String.sub part (i + 1) (String.length part - i - 1) in
+          if not (List.mem key accepted) then
+            Error
+              (if accepted = [] then
+                 Printf.sprintf "%s: takes no parameters (got %S)" strategy part
+               else
+                 Printf.sprintf "%s: unknown parameter %S (accepted: %s)"
+                   strategy key
+                   (String.concat ", " accepted))
+          else if List.mem_assoc key acc then
+            Error (Printf.sprintf "%s: duplicate parameter %S" strategy key)
+          else Ok ((key, v) :: acc))
+    in
+    List.fold_left parse_one (Ok []) (String.split_on_char ',' body)
+
+let param_int ~strategy params key ~default =
+  match List.assoc_opt key params with
+  | None -> Ok default
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some i -> Ok i
+    | None ->
+      Error
+        (Printf.sprintf "%s: parameter %s expects an integer, got %S" strategy
+           key v))
+
+let param_float ~strategy params key ~default =
+  match List.assoc_opt key params with
+  | None -> Ok default
+  | Some v -> (
+    match float_of_string_opt v with
+    | Some f -> Ok f
+    | None ->
+      Error
+        (Printf.sprintf "%s: parameter %s expects a number, got %S" strategy key
+           v))
+
 let strategy_of_name ?(steps = 2000) s =
-  match String.lowercase_ascii s with
-  | "random" -> Ok (Random_churn 0.5)
-  | "target" -> Ok Target_cluster
-  | "dos" -> Ok Dos_honest
-  | "grow-shrink" -> Ok (Grow_shrink (max 1 (steps / 4)))
-  | "poisson" -> Ok (Ambient (Workload.Poisson { join_ratio = 0.5 }))
+  let ( let* ) = Result.bind in
+  let name, body = split_spec (String.lowercase_ascii s) in
+  let with_params accepted build =
+    let* params = parse_params ~strategy:name ~accepted body in
+    build params
+  in
+  match name with
+  | "random" ->
+    with_params [ "p" ] (fun params ->
+        let* p = param_float ~strategy:name params "p" ~default:0.5 in
+        if p < 0.0 || p > 1.0 then
+          Error "random: parameter p must be within [0, 1]"
+        else Ok (Random_churn p))
+  | "target" -> with_params [] (fun _ -> Ok Target_cluster)
+  | "dos" -> with_params [] (fun _ -> Ok Dos_honest)
+  | "grow-shrink" ->
+    with_params [ "period" ] (fun params ->
+        let* period =
+          param_int ~strategy:name params "period" ~default:(max 1 (steps / 4))
+        in
+        if period < 1 then Error "grow-shrink: parameter period must be >= 1"
+        else Ok (Grow_shrink period))
+  | "poisson" ->
+    with_params [ "ratio" ] (fun params ->
+        let* join_ratio = param_float ~strategy:name params "ratio" ~default:0.5 in
+        if join_ratio < 0.0 || join_ratio > 1.0 then
+          Error "poisson: parameter ratio must be within [0, 1]"
+        else Ok (Ambient (Workload.Poisson { join_ratio })))
   | "flash-crowd" ->
-    Ok
-      (Ambient
-         (Workload.Flash_crowd
-            { arrive_at = steps / 4; size = max 1 (steps / 8); depart_at = 3 * steps / 4 }))
+    with_params [ "size"; "at"; "depart" ] (fun params ->
+        let* size =
+          param_int ~strategy:name params "size" ~default:(max 1 (steps / 8))
+        in
+        let* arrive_at = param_int ~strategy:name params "at" ~default:(steps / 4) in
+        let* depart_at =
+          param_int ~strategy:name params "depart" ~default:(3 * steps / 4)
+        in
+        if size < 1 then Error "flash-crowd: parameter size must be >= 1"
+        else if arrive_at < 0 then Error "flash-crowd: parameter at must be >= 0"
+        else if depart_at <= arrive_at then
+          Error "flash-crowd: depart must come after at"
+        else Ok (Ambient (Workload.Flash_crowd { arrive_at; size; depart_at })))
   | "diurnal" ->
-    Ok (Ambient (Workload.Diurnal { period = max 2 (steps / 2); amplitude = 0.3 }))
+    with_params [ "period"; "amp" ] (fun params ->
+        let* period =
+          param_int ~strategy:name params "period" ~default:(max 2 (steps / 2))
+        in
+        let* amplitude = param_float ~strategy:name params "amp" ~default:0.3 in
+        if period < 2 then Error "diurnal: parameter period must be >= 2"
+        else if amplitude < 0.0 || amplitude >= 1.0 then
+          Error "diurnal: parameter amp must be within [0, 1)"
+        else Ok (Ambient (Workload.Diurnal { period; amplitude })))
   | other ->
-    Error
-      (Printf.sprintf "unknown strategy %S; available: %s" other
-         (String.concat ", " strategy_names))
+    Error (Printf.sprintf "unknown strategy %S; %s" other catalogue_hint)
 
 type t = {
   engine : Engine.t;

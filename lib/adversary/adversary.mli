@@ -56,10 +56,15 @@ val strategy_names : string list
 (** The names of {!strategy_catalogue}, in catalogue order. *)
 
 val strategy_of_name : ?steps:int -> string -> (strategy, string) result
-(** Parse a catalogue name (case-insensitive) into a strategy with
-    default parameters; [steps] (default 2000) scales the parameters of
-    the phase-based strategies ([grow-shrink], [flash-crowd], [diurnal]).
-    [Error] carries a message listing the available names. *)
+(** Parse ["name"] or ["name:key=value,key=value"] (case-insensitive)
+    into a strategy.  Accepted parameters: [random:p=]join probability,
+    [grow-shrink:period=]steps per phase, [poisson:ratio=]join
+    probability, [flash-crowd:size=,at=,depart=], and
+    [diurnal:period=,amp=] — e.g. ["flash-crowd:size=400,at=100"].
+    Omitted parameters take defaults scaled by [steps] (default 2000)
+    for the phase-based strategies.  [Error] carries a friendly message:
+    unknown names list the catalogue, unknown or malformed parameters
+    list the keys that strategy accepts. *)
 
 type t
 

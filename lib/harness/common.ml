@@ -20,24 +20,27 @@ type mode = Quick | Full
 
 let scale mode ~quick ~full = match mode with Quick -> quick | Full -> full
 
-let initial_population rng ~n ~tau =
-  let byz = int_of_float (tau *. float_of_int n) in
-  let arr =
-    Array.init n (fun i ->
-        if i < byz then Now_core.Node.Byzantine else Now_core.Node.Honest)
-  in
-  Prng.Rng.shuffle_in_place rng arr;
-  Array.to_list arr
+let initial_population = Scenario.State_driver.initial_population
 
+(* Construction now goes through the scenario layer's state driver; the
+   spec below reproduces the historical parameters bit-for-bit (the
+   driver's population rng is [Rng.create (seed + 11)]). *)
 let default_engine ?(seed = 7L) ?(walk_mode = Now_core.Params.Direct_sample) ?(k = 8)
     ?(tau = 0.15) ?(shuffle = true) ?(split_merge = true) ~n_max ~n0 () =
-  let params =
-    Now_core.Params.make ~k ~tau ~walk_mode ~shuffle_on_churn:shuffle
-      ~allow_split_merge:split_merge ~n_max ()
+  let spec =
+    {
+      Scenario.Spec.default with
+      Scenario.Spec.n0;
+      n_max;
+      k;
+      tau;
+      exact_walk = (walk_mode = Now_core.Params.Exact_walk);
+      shuffle;
+      split_merge;
+      churn = Scenario.Spec.Static;
+    }
   in
-  let rng = Prng.Rng.create (Int64.add seed 11L) in
-  let initial = initial_population rng ~n:n0 ~tau in
-  Now_core.Engine.create ~seed params ~initial
+  Scenario.State_driver.engine (Scenario.State_driver.create ~seed spec)
 
 let log2i n = log (float_of_int (max 1 n)) /. log 2.0
 

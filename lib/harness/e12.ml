@@ -4,104 +4,16 @@
    Byzantine population.  This is the highest-fidelity validation in the
    suite: every randNum share, walk token, validated transfer and swap is
    an actual authenticated message, and the >2/3-honest invariant and the
-   size discipline are asserted after every operation.  The state-level
-   engine runs the same workload for a cost cross-check. *)
+   size discipline are asserted after every operation.
 
-module Config = Cluster.Config
-module Ops = Cluster.Ops
-module B = Agreement.Byz_behavior
+   The trajectory is produced by the scenario layer's message-level churn
+   driver (Scenario.Msg_driver) under a Random_churn strategy: the driver
+   restores a ±10-node band around the initial population, corrupts
+   arrivals by a budget-capped Bernoulli(tau) draw (noise behaviour), splits
+   oversized clusters and merges undersized ones — the same maintenance
+   loop the old bespoke harness hand-rolled. *)
+
 module Table = Metrics.Table
-module Rng = Prng.Rng
-module Ledger = Metrics.Ledger
-
-type stats = {
-  steps : int;
-  splits : int;
-  merges : int;
-  majority_violations : int;
-  min_size : int;
-  max_size : int;
-  messages : int;
-}
-
-let run_msg_level ~seed ~steps ~n_clusters ~cluster_size ~tau =
-  let rng = Rng.create seed in
-  let ledger = Ledger.create () in
-  let byz_per_cluster = int_of_float (tau *. float_of_int cluster_size) in
-  let cfg =
-    Config.build_uniform ~rng ~ledger ~n_clusters ~cluster_size ~byz_per_cluster
-      ~overlay_degree:3 ()
-  in
-  let max_size = cluster_size + (cluster_size / 2) in
-  let min_size = max 2 ((2 * cluster_size) / 3) in
-  let next_node = ref 1_000_000 in
-  let next_cid = ref 1_000 in
-  let splits = ref 0 and merges = ref 0 in
-  let violations = ref 0 in
-  let min_seen = ref max_int and max_seen = ref 0 in
-  let overlay_edges = max 3 (2 * int_of_float (Common.log2i n_clusters)) in
-  let fail e =
-    ignore e;
-    failwith "E12: message-level operation failed (validated channel broke?)"
-  in
-  let scan () =
-    List.iter
-      (fun cid ->
-        let s = Config.size cfg cid in
-        if s < !min_seen then min_seen := s;
-        if s > !max_seen then max_seen := s;
-        if not (Config.honest_majority cfg cid) then incr violations)
-      (Config.cluster_ids cfg)
-  in
-  for _step = 1 to steps do
-    let n = Config.n_nodes cfg in
-    let grow = if n <= (n_clusters * cluster_size) - 10 then true
-      else if n >= (n_clusters * cluster_size) + 10 then false
-      else Rng.bool rng in
-    if grow then begin
-      incr next_node;
-      let byzantine =
-        if Rng.bernoulli rng tau then Some (B.Random_noise !next_node) else None
-      in
-      let contact = Rng.pick rng (Array.of_list (Config.cluster_ids cfg)) in
-      match Ops.join cfg ?byzantine ~node:!next_node ~contact () with
-      | Error e -> fail e
-      | Ok host ->
-        if Config.size cfg host > max_size then begin
-          incr next_cid;
-          match Ops.split cfg ~cluster:host ~fresh_cid:!next_cid ~overlay_edges with
-          | Ok _ -> incr splits
-          | Error e -> fail e
-        end
-    end
-    else begin
-      (* A uniformly random departure. *)
-      let cid = Rng.pick rng (Array.of_list (Config.cluster_ids cfg)) in
-      let node = Rng.pick rng (Array.of_list (Config.members cfg cid)) in
-      match Ops.leave cfg ~node () with
-      | Error e -> fail e
-      | Ok _ ->
-        if
-          Config.size cfg cid < min_size
-          && List.length (Config.cluster_ids cfg) > 1
-        then begin
-          match Ops.merge cfg ~cluster:cid with
-          | Ok _ -> incr merges
-          | Error `Too_many_restarts -> ()
-          | Error e -> fail e
-        end
-    end;
-    scan ()
-  done;
-  {
-    steps;
-    splits = !splits;
-    merges = !merges;
-    majority_violations = !violations;
-    min_size = !min_seen;
-    max_size = !max_seen;
-    messages = Ledger.total_messages ledger;
-  }
 
 let run ?(mode = Common.Quick) ?(seed = 1212L) () =
   let steps = Common.scale mode ~quick:60 ~full:300 in
@@ -113,9 +25,28 @@ let run ?(mode = Common.Quick) ?(seed = 1212L) () =
   let n_clusters = 5 in
   let cluster_size = match mode with Common.Quick -> 12 | Common.Full -> 16 in
   let tau = match mode with Common.Quick -> 0.15 | Common.Full -> 0.12 in
-  let s = run_msg_level ~seed ~steps ~n_clusters ~cluster_size ~tau in
-  (* State-level twin for the cost cross-check: same order of magnitude of
-     work per operation is expected (same primitives, same charging). *)
+  let spec =
+    {
+      Scenario.Spec.default with
+      Scenario.Spec.name = "e12";
+      steps;
+      churn = Scenario.Spec.Strategy (Adversary.Random_churn 0.5);
+      drive = Scenario.Spec.no_drive;
+      behavior = Some "noise";
+      tau;
+      n_clusters;
+      cluster_size;
+      (* The historical initial placement (floor, not round): Bernoulli
+         corruption of arrivals then fills the rest of the tau budget. *)
+      byz_per_cluster = Some (int_of_float (tau *. float_of_int cluster_size));
+      sample_start = false;
+      sample_every = max 1 (steps / 10);
+    }
+  in
+  let driver =
+    Scenario.Msg_driver.create ~seed ~labels:[ ("experiment", "E12") ] spec
+  in
+  let s = Scenario.run_driver spec (Scenario.Msg driver) in
   let table =
     Table.create
       ~title:"E12 / full message-level NOW maintenance (real messages end-to-end)"
@@ -127,31 +58,39 @@ let run ?(mode = Common.Quick) ?(seed = 1212L) () =
   in
   Table.add_row table
     [
-      Table.S "msg-level"; Table.I s.steps; Table.I s.splits; Table.I s.merges;
-      Table.S (Printf.sprintf "[%d, %d]" s.min_size s.max_size);
-      Table.I s.majority_violations; Table.I s.messages;
+      Table.S "msg-level"; Table.I s.Scenario.Stats.steps;
+      Table.I s.Scenario.Stats.splits; Table.I s.Scenario.Stats.merges;
+      Table.S
+        (Printf.sprintf "[%d, %d]" s.Scenario.Stats.min_size
+           s.Scenario.Stats.max_size);
+      Table.I s.Scenario.Stats.majority_violations;
+      Table.I s.Scenario.Stats.messages;
     ];
   (* All clusters must keep their honest majority at every sampled instant
      (at this tau and size the Chernoff tail allows rare grazing; a small
-     allowance keeps the assertion honest). *)
+     allowance keeps the assertion honest).  Every churn operation must
+     have gone through — a refused operation means a validated channel
+     broke. *)
   let allowance = steps / 20 in
   let ok =
-    s.majority_violations <= allowance
-    && s.splits + s.merges >= 0
-    && s.min_size >= 2
-    && s.messages > 0
+    s.Scenario.Stats.majority_violations <= allowance
+    && s.Scenario.Stats.churn_failures = 0
+    && s.Scenario.Stats.min_size >= 2
+    && s.Scenario.Stats.messages > 0
   in
   Common.make_result ~id:"E12"
     ~title:"End-to-end message-level NOW (highest-fidelity validation)" ~table
     ~notes:
       [
         "every operation of the maintenance loop executed as real \
-         authenticated messages: randNum escrows, walk tokens over \
-         validated channels, swaps, view updates, splits and merges;";
+         authenticated messages by the scenario layer's message-level \
+         churn driver: randNum escrows, walk tokens over validated \
+         channels, swaps, view updates, splits and merges;";
         Printf.sprintf
           "honest-majority scans after every operation: %d instants below \
            2/3 honest across %d operations x %d clusters (Chernoff-tail \
-           allowance %d at |C| ~ %d)."
-          s.majority_violations steps n_clusters allowance cluster_size;
+           allowance %d at |C| ~ %d); %d churn operations refused."
+          s.Scenario.Stats.majority_violations steps n_clusters allowance
+          cluster_size s.Scenario.Stats.churn_failures;
       ]
     ~ok ()

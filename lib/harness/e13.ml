@@ -23,18 +23,24 @@
      corrupted majority (7/12) every hop fails validation even after the
      honest-side retries and the walk blames a traversed cluster.
 
-   Every cell derives all randomness from the experiment seed via
-   Common.par_map_trials, so the table is byte-identical for any -j
-   (the CI determinism gate diffs -j 1 against -j 4). *)
+   All three parts run their primitives through the scenario layer's
+   message-level driver (Scenario.Msg_driver): parts A/B pin bespoke
+   threshold configurations (constant forged values, exact corruption
+   counts) and hand them to [Msg_driver.of_config]; part C's node-seeded
+   behaviours are exactly the named catalogue, so it is built end-to-end
+   by [Msg_driver.of_rng] from a spec.  Every cell derives all randomness
+   from the experiment seed via Common.par_map_trials, so the table is
+   byte-identical for any -j (the CI determinism gate diffs -j 1 against
+   -j 4). *)
 
 module Config = Cluster.Config
-module Valchan = Cluster.Valchan
 module Randnum = Cluster.Randnum
-module Walk = Cluster.Walk
 module B = Agreement.Byz_behavior
 module Graph = Dsgraph.Graph
 module Table = Metrics.Table
 module Rng = Prng.Rng
+module Msg_driver = Scenario.Msg_driver
+module Stats = Scenario.Stats
 
 type row = {
   part : string;
@@ -62,6 +68,19 @@ let a_behaviors =
 
 let a_byz_counts = [ 0; 3; 5; 7; 9 ]
 
+let a_spec =
+  {
+    Scenario.Spec.default with
+    Scenario.Spec.name = "e13a";
+    churn = Scenario.Spec.Static;
+    drive =
+      { Scenario.Spec.no_drive with Scenario.Spec.valchan = true };
+    behavior = None;
+    n_clusters = 2;
+    cluster_size = a_size;
+    valchan_route = Some (0, 1);
+  }
+
 let pair_config ~rng ~byz ~behavior =
   let src = List.init a_size (fun i -> i) in
   let dst = List.init a_size (fun i -> 100 + i) in
@@ -85,19 +104,18 @@ let run_a_cell ~rng ~index ~trials (bname, behavior) byz =
   let labels = cell_labels ~part:"A.valchan" ~bname ~byz in
   let honest_ok = ref 0 and forged = ref 0 and rejected = ref 0 in
   for t = 1 to trials do
+    (* The threshold geometry is rebuilt per trial (the behaviours carry
+       per-message noise state), so each trial wraps its configuration in
+       a fresh driver; the payload draw and the transmit both happen
+       inside [valchan_once], on the same stream as before. *)
     let cfg = pair_config ~rng ~byz ~behavior in
     if t = 1 then Monitor.maybe_sample_config ~labels ~time:index cfg;
-    (* Payloads below 10_000 can never collide with a forged value. *)
-    let payload = 1 + Rng.int rng 1_000 in
-    let res = Valchan.transmit cfg ~src_cluster:0 ~dst_cluster:1 ~payload () in
-    let cell_forged =
-      List.exists
-        (fun (_, v) -> match v with Some v -> v <> payload | None -> false)
-        res.Valchan.verdicts
-    in
-    if cell_forged then incr forged
-    else if res.Valchan.unanimous = Some payload then incr honest_ok
-    else incr rejected
+    let d = Msg_driver.of_config ~rng ~labels a_spec cfg in
+    Msg_driver.valchan_once d ~time:index;
+    let s = Msg_driver.stats d in
+    honest_ok := !honest_ok + s.Stats.valchan_accepted;
+    forged := !forged + s.Stats.valchan_forged;
+    rejected := !rejected + s.Stats.valchan_rejected
   done;
   let threshold_ok =
     if 2 * byz <= a_size then
@@ -110,7 +128,6 @@ let run_a_cell ~rng ~index ~trials (bname, behavior) byz =
          the run completed. *)
       !honest_ok + !forged + !rejected = trials
   in
-  Monitor.maybe_count ~series:"valchan.forged" ~labels ~time:index !forged;
   {
     part = "A.valchan";
     behavior = bname;
@@ -128,6 +145,19 @@ let run_a_cell ~rng ~index ~trials (bname, behavior) byz =
 let b_size = 15
 let b_range = 8
 
+let b_spec =
+  {
+    Scenario.Spec.default with
+    Scenario.Spec.name = "e13b";
+    churn = Scenario.Spec.Static;
+    drive =
+      { Scenario.Spec.no_drive with Scenario.Spec.randnum = true };
+    behavior = None;
+    n_clusters = 1;
+    cluster_size = b_size;
+    randnum_range = b_range;
+  }
+
 let single_config ~rng ~byz ~behavior =
   let ids = List.init b_size (fun i -> i) in
   let byzantine node = if node >= 0 && node < byz then Some (behavior node) else None in
@@ -139,16 +169,22 @@ let uniform_buckets counts ~trials =
   let expected = trials / b_range in
   Array.for_all (fun c -> 2 * c >= expected && c <= 2 * expected) counts
 
-let run_b_uniform ~rng ~index ~trials bname behavior byz =
+(* One driver per cell: the cluster is static, so [randnum_once] draws the
+   same [Randnum.run cfg ~cluster:0 ~range:8] stream as the bespoke loop
+   did, and the bucket histogram is the driver's. *)
+let run_b_driver ~rng ~index ~trials ~labels ~byz ~behavior =
   let cfg = single_config ~rng ~byz ~behavior in
-  Monitor.maybe_sample_config
-    ~labels:(cell_labels ~part:"B.randnum" ~bname ~byz)
-    ~time:index cfg;
-  let counts = Array.make b_range 0 in
-  for _ = 1 to trials do
-    let o = Randnum.run cfg ~cluster:0 ~range:b_range in
-    counts.(o.Randnum.value) <- counts.(o.Randnum.value) + 1
+  Monitor.maybe_sample_config ~labels ~time:index cfg;
+  let d = Msg_driver.of_config ~rng ~labels b_spec cfg in
+  for t = 1 to trials do
+    Msg_driver.randnum_once d ~time:t
   done;
+  d
+
+let run_b_uniform ~rng ~index ~trials bname behavior byz =
+  let labels = cell_labels ~part:"B.randnum" ~bname ~byz in
+  let d = run_b_driver ~rng ~index ~trials ~labels ~byz ~behavior in
+  let counts = Msg_driver.randnum_hist d in
   let lo = Array.fold_left min max_int counts and hi = Array.fold_left max 0 counts in
   let ok = uniform_buckets counts ~trials in
   {
@@ -164,22 +200,19 @@ let run_b_uniform ~rng ~index ~trials bname behavior byz =
   }
 
 let run_b_stall ~rng ~index ~trials byz =
-  let cfg = single_config ~rng ~byz ~behavior:(fun _ -> B.Silent) in
   let labels = cell_labels ~part:"B.randnum" ~bname:"silent" ~byz in
-  Monitor.maybe_sample_config ~labels ~time:index cfg;
-  let stalls = ref 0 and secure = ref true in
-  for _ = 1 to trials do
-    let o = Randnum.run cfg ~cluster:0 ~range:b_range in
-    if o.Randnum.stalled then incr stalls;
-    if not o.Randnum.secure then secure := false
-  done;
+  let d =
+    run_b_driver ~rng ~index ~trials ~labels ~byz ~behavior:(fun _ -> B.Silent)
+  in
+  let s = Msg_driver.stats d in
+  let stalls = s.Stats.randnum_stalls in
+  let secure = s.Stats.randnum_insecure = 0 in
   let should_stall = 3 * (b_size - byz) < 2 * b_size in
   let should_be_secure = 3 * byz < 2 * b_size in
   let ok =
-    (if should_stall then !stalls = trials else !stalls = 0)
-    && !secure = should_be_secure
+    (if should_stall then stalls = trials else stalls = 0)
+    && secure = should_be_secure
   in
-  Monitor.maybe_count ~series:"randnum.stall" ~labels ~time:index !stalls;
   {
     part = "B.randnum";
     behavior = "silent";
@@ -188,8 +221,7 @@ let run_b_stall ~rng ~index ~trials byz =
     trials;
     honest_ok = (if ok then trials else 0);
     violations = 0;
-    detail =
-      Printf.sprintf "stalled %d/%d, secure=%b" !stalls trials !secure;
+    detail = Printf.sprintf "stalled %d/%d, secure=%b" stalls trials secure;
     cell_ok = ok;
   }
 
@@ -199,50 +231,55 @@ let c_clusters = 6
 let c_size = 12
 let c_duration = 6.0
 
-let c_behaviors =
-  [
-    ("drop-walk", fun node -> B.Drop_walk (node + 1));
-    ("misroute-walk", fun node -> B.Misroute_walk (node + 1));
-  ]
+(* Node-seeded walk attackers are exactly the named catalogue entries
+   ([of_name ~seed:(node + 1)]), so part C is built end-to-end by the
+   scenario layer from a spec. *)
+let c_behaviors = [ "drop-walk"; "misroute-walk" ]
 
 let c_byz_counts = [ 0; 3; 7 ]
 
-let run_c_cell ~rng ~index ~trials (bname, behavior) byz =
-  let cfg =
-    Config.build_uniform ~rng ~behavior ~n_clusters:c_clusters ~cluster_size:c_size
-      ~byz_per_cluster:byz ~overlay_degree:3 ()
-  in
+let c_spec ~bname ~byz =
+  {
+    Scenario.Spec.default with
+    Scenario.Spec.name = "e13c";
+    churn = Scenario.Spec.Static;
+    drive = { Scenario.Spec.no_drive with Scenario.Spec.walks = true };
+    behavior = Some bname;
+    n_clusters = c_clusters;
+    cluster_size = c_size;
+    overlay_degree = 3;
+    byz_per_cluster = Some byz;
+    walk_duration = Some c_duration;
+  }
+
+let run_c_cell ~rng ~index ~trials bname byz =
   let labels = cell_labels ~part:"C.walk" ~bname ~byz in
-  Monitor.maybe_sample_config ~labels ~degree_bound:6 ~time:index cfg;
-  let cluster_ids = Config.cluster_ids cfg in
-  let ok_walks = ref 0 and failed = ref 0 and misblamed = ref 0 and retries = ref 0 in
+  let d = Msg_driver.of_rng ~rng ~labels (c_spec ~bname ~byz) in
+  Msg_driver.sample d ~time:index;
   for t = 1 to trials do
-    match Walk.rand_cl ~duration:c_duration cfg ~start:(t mod c_clusters) with
-    | Ok s ->
-      incr ok_walks;
-      retries := !retries + s.Walk.hop_retries
-    | Error (`Validation_failed c) ->
-      incr failed;
-      if not (List.mem c cluster_ids) then incr misblamed
-    | Error `Too_many_restarts -> incr failed
+    Msg_driver.walk_once d ~time:t
   done;
+  let s = Msg_driver.stats d in
+  let ok_walks = s.Stats.walks_ok
+  and failed = s.Stats.walks_failed
+  and misblamed = s.Stats.walk_misblamed
+  and retries = s.Stats.walk_retries in
   let ok =
-    !misblamed = 0
+    misblamed = 0
     &&
-    if 3 * byz <= c_size then !ok_walks = trials && !retries = 0
-    else if 2 * byz > c_size then !failed = trials
+    if 3 * byz <= c_size then ok_walks = trials && retries = 0
+    else if 2 * byz > c_size then failed = trials
     else true
   in
-  Monitor.maybe_count ~series:"walk.retry" ~labels ~time:index !retries;
   {
     part = "C.walk";
     behavior = bname;
     byz;
     size = c_size;
     trials;
-    honest_ok = !ok_walks;
-    violations = !misblamed;
-    detail = Printf.sprintf "failed %d, retries %d" !failed !retries;
+    honest_ok = ok_walks;
+    violations = misblamed;
+    detail = Printf.sprintf "failed %d, retries %d" failed retries;
     cell_ok = ok;
   }
 
@@ -252,7 +289,7 @@ type cell_spec =
   | A of string * (int -> B.t) * int
   | B_uniform of string * (int -> B.t) * int
   | B_stall of int
-  | C of string * (int -> B.t) * int
+  | C of string * int
 
 let run ?(mode = Common.Quick) ?(seed = 1313L) () =
   let a_trials = Common.scale mode ~quick:6 ~full:30 in
@@ -269,7 +306,7 @@ let run ?(mode = Common.Quick) ?(seed = 1313L) () =
         B_stall 11;
       ]
     @ List.concat_map
-        (fun (bname, b) -> List.map (fun byz -> C (bname, b, byz)) c_byz_counts)
+        (fun bname -> List.map (fun byz -> C (bname, byz)) c_byz_counts)
         c_behaviors
   in
   (* The cell index rides along as the monitor's time axis; par_map_trials
@@ -284,8 +321,7 @@ let run ?(mode = Common.Quick) ?(seed = 1313L) () =
         | B_uniform (bname, b, byz) ->
           run_b_uniform ~rng ~index ~trials:b_trials bname b byz
         | B_stall byz -> run_b_stall ~rng ~index ~trials:b_trials byz
-        | C (bname, b, byz) ->
-          run_c_cell ~rng ~index ~trials:c_trials (bname, b) byz)
+        | C (bname, byz) -> run_c_cell ~rng ~index ~trials:c_trials bname byz)
       (List.mapi (fun index spec -> (index, spec)) specs)
   in
   let table =

@@ -33,25 +33,39 @@ let run ?(mode = Common.Quick) ?(seed = 303L) () =
           "target byz frac"; "violations now"; "events"; "ok";
         ]
   in
-  (* Every variant drives its own engine built from the same experiment
+  (* Every variant drives its own scenario built from the same experiment
      seed, so the four attack sweeps are independent tasks for the Exec
      pool; rows come back in variant order, identical for any -j. *)
   let attack_sweep v =
-    let engine =
-      Common.default_engine ~seed ~tau ~shuffle:v.shuffle ~n_max:(1 lsl 14)
-        ~n0:1500 ()
+    let spec =
+      {
+        Scenario.Spec.default with
+        Scenario.Spec.name = "e3";
+        n0 = 1500;
+        n_max = 1 lsl 14;
+        tau;
+        exact_walk = false;
+        shuffle = v.shuffle;
+        churn = Scenario.Spec.Strategy v.strategy;
+        steps;
+        drive = Scenario.Spec.no_drive;
+        (* Adversary.run's historical sampling contract. *)
+        sample_start = false;
+        sample_every = 100;
+      }
     in
-    let driver = Adversary.create ~seed ~tau ~strategy:v.strategy engine in
-    (* The monitor hook is a no-op unless a monitor is installed, and the
-       probes only read engine state — rows are byte-identical either
+    (* The monitor samples are no-ops unless a monitor is installed, and
+       the probes only read engine state — rows are byte-identical either
        way (the zero-perturbation test pins this). *)
-    Adversary.run driver ~steps ~on_sample:(fun d ->
-        Monitor.maybe_sample_engine
-          ~labels:[ ("experiment", "E3"); ("variant", v.name) ]
-          ~time:(Adversary.steps_done d) (Adversary.engine d));
-    let minhf = Adversary.min_honest_fraction_seen driver in
-    let target_frac = Adversary.target_byz_fraction driver in
-    let violations = Engine.violations_now engine in
+    let driver =
+      Scenario.State_driver.create ~seed
+        ~labels:[ ("experiment", "E3"); ("variant", v.name) ]
+        spec
+    in
+    let s = Scenario.run_driver spec (Scenario.State driver) in
+    let minhf = s.Scenario.Stats.min_honest_fraction in
+    let target_frac = s.Scenario.Stats.target_byz_fraction in
+    let violations = s.Scenario.Stats.violations_now in
     let ok =
       if v.shuffle then
         (* NOW: no standing violation; the floor can graze the Chernoff
@@ -62,12 +76,12 @@ let run ?(mode = Common.Quick) ?(seed = 303L) () =
            up owning at least a third of its target cluster. *)
         target_frac >= 1.0 /. 3.0
     in
-    Engine.check_invariants engine;
+    Engine.check_invariants (Scenario.State_driver.engine driver);
     ( ok,
       [
-        Table.S v.name; Table.I steps; Table.I (Engine.n_nodes engine);
-        Table.I (Engine.n_clusters engine); Table.F minhf; Table.F target_frac;
-        Table.I violations; Table.I (Engine.violation_events engine);
+        Table.S v.name; Table.I steps; Table.I s.Scenario.Stats.n_nodes;
+        Table.I s.Scenario.Stats.n_clusters; Table.F minhf; Table.F target_frac;
+        Table.I violations; Table.I s.Scenario.Stats.violation_events;
         Table.S (if ok then "yes" else "NO");
       ] )
   in

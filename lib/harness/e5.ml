@@ -17,22 +17,37 @@ module Ledger = Metrics.Ledger
 
 let k = 8
 
-let msg_level_costs ~seed ~n_max ~walks =
+(* The message-level geometry at name-space bound N, matching the
+   state-level engine's population (n = N/2) so the two ledgers are
+   comparable at equal N. *)
+let msg_spec ~n_max =
   let log2n = int_of_float (ceil (Common.log2i n_max)) in
   let cluster_size = k * log2n in
-  (* Match the state-level engine's population (n = N/2) so the two
-     ledgers are comparable at equal N. *)
   let n_clusters = max 3 (n_max / 2 / cluster_size) in
   let overlay_degree =
     min (n_clusters - 1)
       (max 3 (int_of_float (2.0 *. (float_of_int log2n ** 1.25))))
   in
-  let rng = Rng.create seed in
-  let ledger = Ledger.create () in
-  let cfg =
-    Cluster.Config.build_uniform ~rng ~ledger ~n_clusters ~cluster_size
-      ~byz_per_cluster:(cluster_size * 15 / 100) ~overlay_degree ()
-  in
+  {
+    Scenario.Spec.default with
+    Scenario.Spec.name = "e5";
+    n_max;
+    k;
+    n_clusters;
+    cluster_size;
+    overlay_degree;
+    byz_per_cluster = Some (cluster_size * 15 / 100);
+    behavior = None;
+    churn = Scenario.Spec.Static;
+    drive = Scenario.Spec.no_drive;
+  }
+
+let msg_level_costs ~seed ~n_max ~walks =
+  let driver = Scenario.Msg_driver.create ~seed (msg_spec ~n_max) in
+  let cfg = Scenario.Msg_driver.config driver in
+  let rng = Scenario.Msg_driver.rng driver in
+  let ledger = Scenario.Msg_driver.ledger driver in
+  let n_clusters = List.length (Cluster.Config.cluster_ids cfg) in
   let randcl_msgs = Metrics.Stats.create () in
   let randcl_rounds = Metrics.Stats.create () in
   for _ = 1 to walks do
@@ -46,33 +61,28 @@ let msg_level_costs ~seed ~n_max ~walks =
     Metrics.Stats.add_int randcl_rounds d.Ledger.rounds
   done;
   let before = Ledger.snapshot ledger in
-  (match Cluster.Exchange.exchange_all cfg ~cluster:0 with
-  | Ok _ -> ()
-  | Error _ -> failwith "E5: message-level exchange failed");
+  if not (Scenario.Msg_driver.exchange driver) then
+    failwith "E5: message-level exchange failed";
   let exch = Ledger.since ledger before in
-  (* Full message-level operations (Ops composes the primitives).  Both
-     engines charge "join.insert", "leave.notify" and
-     "exchange.view_update" from the same cost formulas, so their per-op
-     label deltas are the finest-grained point of comparison. *)
+  (* Full message-level operations through the churn driver (Ops composes
+     the primitives).  Both engines charge "join.insert", "leave.notify"
+     and "exchange.view_update" from the same cost formulas, so their
+     per-op label deltas are the finest-grained point of comparison. *)
   let lm label = Ledger.label_messages ledger label in
   let before = Ledger.snapshot ledger in
   let ji0 = lm "join.insert" and vu0 = lm "exchange.view_update" in
-  (match
-     Cluster.Ops.join cfg ~node:(1_000_000 + n_max)
-       ~contact:(Rng.int rng n_clusters) ()
-   with
-  | Ok _ -> ()
-  | Error _ -> failwith "E5: message-level join failed");
+  Scenario.Msg_driver.join driver;
   let join_cost = Ledger.since ledger before in
   let join_insert = lm "join.insert" - ji0 in
   let join_view_update = lm "exchange.view_update" - vu0 in
   let before = Ledger.snapshot ledger in
   let ln0 = lm "leave.notify" in
-  (match Cluster.Ops.leave cfg ~node:(1_000_000 + n_max) () with
-  | Ok _ -> ()
-  | Error _ -> failwith "E5: message-level leave failed");
+  Scenario.Msg_driver.leave driver;
   let leave_cost = Ledger.since ledger before in
   let leave_notify = lm "leave.notify" - ln0 in
+  let s = Scenario.Msg_driver.stats driver in
+  if s.Scenario.Stats.churn_failures > 0 then
+    failwith "E5: message-level churn operation failed";
   ( Metrics.Stats.mean randcl_msgs,
     Metrics.Stats.mean randcl_rounds,
     exch.Ledger.messages,
@@ -81,28 +91,39 @@ let msg_level_costs ~seed ~n_max ~walks =
     leave_cost.Ledger.messages,
     (join_insert, join_view_update, leave_notify) )
 
+let state_spec ~n_max =
+  {
+    Scenario.Spec.default with
+    Scenario.Spec.name = "e5";
+    n0 = n_max / 2;
+    n_max;
+    k;
+    exact_walk = true;
+    churn = Scenario.Spec.Static;
+    drive = Scenario.Spec.no_drive;
+  }
+
 let state_level_costs ~seed ~n_max ~ops =
-  let engine =
-    Common.default_engine ~seed ~k ~walk_mode:Now_core.Params.Exact_walk ~n_max
-      ~n0:(n_max / 2) ()
-  in
-  let ledger = Engine.ledger engine in
+  let driver = Scenario.State_driver.create ~seed (state_spec ~n_max) in
+  let engine = Scenario.State_driver.engine driver in
+  let ledger = Scenario.State_driver.ledger driver in
   let lm label = Ledger.label_messages ledger label in
   let join_msgs = Metrics.Stats.create () and join_rounds = Metrics.Stats.create () in
   let leave_msgs = Metrics.Stats.create () and leave_rounds = Metrics.Stats.create () in
   let randcl_msgs = Metrics.Stats.create () in
   (* Per-op deltas of the labels both engines charge from the same
-     formulas (see msg_level_costs). *)
+     formulas (see msg_level_costs); the driver's join/leave return the
+     engine's per-operation cost reports. *)
   let join_insert = ref 0 and join_view_update = ref 0 and leave_notify = ref 0 in
   for _ = 1 to ops do
     let ji0 = lm "join.insert" and vu0 = lm "exchange.view_update" in
-    let _, r = Engine.join engine Now_core.Node.Honest in
+    let r = Scenario.State_driver.join driver in
     join_insert := !join_insert + lm "join.insert" - ji0;
     join_view_update := !join_view_update + lm "exchange.view_update" - vu0;
     Metrics.Stats.add_int join_msgs r.Engine.messages;
     Metrics.Stats.add_int join_rounds r.Engine.rounds;
     let ln0 = lm "leave.notify" in
-    let r = Engine.leave engine (Engine.random_node engine) in
+    let r = Scenario.State_driver.leave driver in
     leave_notify := !leave_notify + lm "leave.notify" - ln0;
     Metrics.Stats.add_int leave_msgs r.Engine.messages;
     Metrics.Stats.add_int leave_rounds r.Engine.rounds;

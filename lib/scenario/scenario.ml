@@ -1,0 +1,163 @@
+(* Re-export: [scenario.ml] is this library's root module, so siblings
+   must be surfaced explicitly. *)
+module Spec = Spec
+module Driver = Driver
+module Stats = Driver.Stats
+module State_driver = State_driver
+module Msg_driver = Msg_driver
+
+let steady = Spec.default
+
+let primitives =
+  {
+    Spec.default with
+    Spec.name = "primitives";
+    description =
+      "paired churn while driving walk / randNum / valChan every step";
+    steps = 30;
+    drive =
+      {
+        Spec.walks = true;
+        randnum = true;
+        valchan = true;
+        exchange_every = None;
+      };
+    behavior = Some "equivocate";
+    n_clusters = 6;
+    cluster_size = 12;
+    byz_per_cluster = None;
+    randnum_range = 64;
+  }
+
+(* Strategy-driven scenarios share one state-oriented geometry large
+   enough for the adversary to manoeuvre in, and a smaller message-level
+   twin (strategies churn one node per step, so message-level cells stay
+   affordable). *)
+let strategy_spec ~name ~description strategy =
+  {
+    Spec.default with
+    Spec.name;
+    description;
+    steps = 400;
+    churn = Spec.Strategy strategy;
+    drive = Spec.no_drive;
+    behavior = Some "noise";
+    n0 = 600;
+    n_max = 1 lsl 12;
+    exact_walk = false;
+    n_clusters = 5;
+    cluster_size = 12;
+    byz_per_cluster = None;
+  }
+
+let catalogue =
+  [
+    ("steady", Spec.default.Spec.description);
+    ("primitives", primitives.Spec.description);
+  ]
+  @ List.map
+      (fun (name, doc) -> (name, "strategy-driven: " ^ doc))
+      Adversary.strategy_catalogue
+
+let names = List.map fst catalogue
+
+let of_name ?steps name =
+  let lower = String.lowercase_ascii name in
+  let base =
+    match String.index_opt lower ':' with
+    | None -> lower
+    | Some i -> String.sub lower 0 i
+  in
+  match lower with
+  | "steady" -> Ok steady
+  | "primitives" -> Ok primitives
+  | _ when List.mem base Adversary.strategy_names -> (
+    match Adversary.strategy_of_name ?steps lower with
+    | Error msg -> Error msg
+    | Ok strategy ->
+      let description =
+        match List.assoc_opt base Adversary.strategy_catalogue with
+        | Some doc -> "strategy-driven: " ^ doc
+        | None -> "strategy-driven churn"
+      in
+      let spec = strategy_spec ~name:lower ~description strategy in
+      Ok (match steps with None -> spec | Some steps -> { spec with Spec.steps }))
+  | _ ->
+    Error
+      (Printf.sprintf "unknown scenario %S; available: %s" name
+         (String.concat ", " names))
+
+type engine = [ `State | `Msg | `Mixed ]
+
+let engine_name = function `State -> "state" | `Msg -> "msg" | `Mixed -> "mixed"
+
+let engine_of_name = function
+  | "state" -> Ok `State
+  | "msg" -> Ok `Msg
+  | "mixed" -> Ok `Mixed
+  | other ->
+    Error
+      (Printf.sprintf "unknown engine %S; available: state, msg, mixed" other)
+
+type driver = State of State_driver.t | Msg of Msg_driver.t
+
+let step d ~time =
+  match d with
+  | State t -> State_driver.step t ~time
+  | Msg t -> Msg_driver.step t ~time
+
+let sample d ~time =
+  match d with
+  | State t -> State_driver.sample t ~time
+  | Msg t -> Msg_driver.sample t ~time
+
+let stats = function
+  | State t -> State_driver.stats t
+  | Msg t -> Msg_driver.stats t
+
+let label = function
+  | State t -> State_driver.label t
+  | Msg t -> Msg_driver.label t
+
+let run_driver ?steps (spec : Spec.t) d =
+  let steps = Option.value steps ~default:spec.Spec.steps in
+  if spec.Spec.sample_start then sample d ~time:0;
+  let every = max 1 spec.Spec.sample_every in
+  for time = 1 to steps do
+    step d ~time;
+    if time mod every = 0 then sample d ~time
+  done;
+  if steps mod every <> 0 then sample d ~time:steps;
+  stats d
+
+let cell_labels ~scenario i =
+  [ ("cell", string_of_int i); ("scenario", scenario) ]
+
+let cell_driver ~engine ~seed (spec : Spec.t) i =
+  let which =
+    match engine with
+    | `State -> `State
+    | `Msg -> `Msg
+    | `Mixed -> if i mod 2 = 0 then `State else `Msg
+  in
+  match which with
+  | `State ->
+    State
+      (State_driver.create_cell ~seed ~cell:i
+         ~labels:(cell_labels ~scenario:"state" i) spec)
+  | `Msg ->
+    Msg
+      (Msg_driver.create_cell ~seed ~cell:i
+         ~labels:(cell_labels ~scenario:"msg" i) spec)
+
+let check_supported (engine : engine) (spec : Spec.t) =
+  match engine with
+  | `State -> Ok ()
+  | `Msg | `Mixed -> Msg_driver.supports spec
+
+let cells ?jobs ?steps ~engine ~seed ~cells (spec : Spec.t) =
+  Exec.par_map ?jobs
+    (fun i ->
+      let d = cell_driver ~engine ~seed spec i in
+      (label d, run_driver ?steps spec d))
+    (List.init cells (fun i -> i))

@@ -1,0 +1,82 @@
+type churn =
+  | Static
+  | Paired
+  | Strategy of Adversary.strategy
+
+let churn_name = function
+  | Static -> "static"
+  | Paired -> "paired"
+  | Strategy s -> Adversary.strategy_name s
+
+type drive = {
+  walks : bool;
+  randnum : bool;
+  valchan : bool;
+  exchange_every : int option;
+}
+
+let no_drive = { walks = false; randnum = false; valchan = false; exchange_every = None }
+
+type t = {
+  name : string;
+  description : string;
+  steps : int;
+  churn : churn;
+  drive : drive;
+  behavior : string option;
+  n0 : int;
+  n_max : int;
+  k : int;
+  tau : float;
+  exact_walk : bool;
+  shuffle : bool;
+  split_merge : bool;
+  n_clusters : int;
+  cluster_size : int;
+  overlay_degree : int;
+  byz_per_cluster : int option;
+  walk_duration : float option;
+  randnum_range : int;
+  valchan_route : (int * int) option;
+  sample_start : bool;
+  sample_every : int;
+}
+
+(* The defaults replicate the geometry of the historical now_sim trace
+   cells (small Exact_walk engine; 6 x 16 message-level clusters with two
+   default-behaviour corrupted members each), so building from [default]
+   reproduces those cells' streams bit-for-bit. *)
+let default =
+  {
+    name = "steady";
+    description = "paired join/leave churn; walks and a periodic exchange";
+    steps = 12;
+    churn = Paired;
+    drive = { walks = true; randnum = false; valchan = false; exchange_every = Some 8 };
+    behavior = None;
+    n0 = 240;
+    n_max = 1 lsl 10;
+    k = 8;
+    tau = 0.15;
+    exact_walk = true;
+    shuffle = true;
+    split_merge = true;
+    n_clusters = 6;
+    cluster_size = 16;
+    overlay_degree = 3;
+    byz_per_cluster = Some 2;
+    walk_duration = None;
+    randnum_range = 64;
+    valchan_route = None;
+    sample_start = true;
+    sample_every = 1;
+  }
+
+let byz_count t =
+  match t.byz_per_cluster with
+  | Some b -> b
+  | None ->
+    min t.cluster_size
+      (int_of_float ((t.tau *. float_of_int t.cluster_size) +. 0.5))
+
+let log2i n = log (float_of_int (max 1 n)) /. log 2.0

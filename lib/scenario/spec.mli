@@ -1,0 +1,84 @@
+(** First-class scenario descriptions.
+
+    A [Spec.t] bundles everything a trajectory needs — population and
+    protocol parameters for both engines, the churn schedule, the injected
+    Byzantine behaviour, which message-level primitives to drive and how
+    long/how often to sample — into one seeded, replayable value.  The
+    same spec can be handed to the state-level driver
+    ({!State_driver}), the message-level driver ({!Msg_driver}) or both
+    (mixed cells), which is what makes cross-engine experiments and the
+    CLI subcommands share a single construction path. *)
+
+type churn =
+  | Static  (** no churn: the population built at creation never changes *)
+  | Paired
+      (** one honest join followed by one uniformly random departure per
+          step — stationary background churn *)
+  | Strategy of Adversary.strategy
+      (** adversarial or ambient churn from the {!Adversary} catalogue;
+          the message-level driver supports every strategy except the
+          state-placement attacks ([Target_cluster], [Dos_honest]) *)
+
+val churn_name : churn -> string
+(** Short label for tables and summaries. *)
+
+type drive = {
+  walks : bool;  (** run one [randCl] walk per step *)
+  randnum : bool;  (** run one [randNum] draw per step *)
+  valchan : bool;  (** run one validated transfer per step *)
+  exchange_every : int option;
+      (** run [exchange_all] on the first cluster every K-th step *)
+}
+(** Which message-level primitives the driver exercises each step (the
+    state-level engine charges its primitives through churn itself, so
+    {!State_driver} ignores these flags). *)
+
+val no_drive : drive
+(** All primitives off. *)
+
+type t = {
+  name : string;  (** catalogue key *)
+  description : string;  (** one line for [--list] output *)
+  steps : int;  (** default trajectory length *)
+  churn : churn;
+  drive : drive;
+  behavior : string option;
+      (** {!Adversary.Behavior} catalogue name corrupted nodes run; [None]
+          leaves the builder's default behaviour and makes churn joiners
+          always honest *)
+  n0 : int;  (** state-level initial population *)
+  n_max : int;  (** state-level name-space bound N *)
+  k : int;  (** cluster-size security parameter *)
+  tau : float;  (** Byzantine fraction (the adversary's budget) *)
+  exact_walk : bool;  (** real biased CTRWs instead of direct sampling *)
+  shuffle : bool;  (** exchange shuffling on churn (off = baseline) *)
+  split_merge : bool;  (** allow state-level splits and merges *)
+  n_clusters : int;  (** message-level cluster count *)
+  cluster_size : int;  (** message-level members per cluster *)
+  overlay_degree : int;  (** message-level overlay degree *)
+  byz_per_cluster : int option;
+      (** corrupted members per message-level cluster; [None] derives
+          [round (tau * cluster_size)] (see {!byz_count}) *)
+  walk_duration : float option;  (** walk duration override (E13 part C) *)
+  randnum_range : int;  (** range of the per-step [randNum] draws *)
+  valchan_route : (int * int) option;
+      (** fixed (src, dst) cluster route for transfers; [None] rotates
+          over the live clusters by step parity *)
+  sample_start : bool;  (** emit a monitor sample at time 0 *)
+  sample_every : int;  (** monitor sample period in steps *)
+}
+(** An open record: consumers refine a catalogue entry with functional
+    update ([{ spec with tau = 0.4 }]) rather than through builders. *)
+
+val default : t
+(** The ["steady"] scenario — paired churn over the historical now_sim
+    trace-cell geometry (its streams replay those cells bit-for-bit). *)
+
+val byz_count : t -> int
+(** Resolved corrupted-members-per-cluster for the message-level driver:
+    [byz_per_cluster] when set, else [round (tau * cluster_size)] capped
+    at the cluster size. *)
+
+val log2i : int -> float
+(** [log2 (max 1 n)] as a float — the overlay-sizing helper shared with
+    the harness. *)

@@ -50,7 +50,7 @@ check_file() {
     esac
 }
 
-for f in lib/adversary/*.mli lib/cluster/*.mli lib/monitor/*.mli lib/simkernel/*.mli; do
+for f in lib/adversary/*.mli lib/cluster/*.mli lib/monitor/*.mli lib/scenario/*.mli lib/simkernel/*.mli; do
     check_file "$f"
 done
 

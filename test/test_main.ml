@@ -17,6 +17,7 @@ let () =
       ("cluster-ops", Test_cluster_ops.suite);
       ("core", Test_core.suite);
       ("adversary", Test_adversary.suite);
+      ("scenario", Test_scenario.suite);
       ("apps", Test_apps.suite);
       ("snapshot-batch-workload", Test_snapshot.suite);
       ("properties", Test_properties.suite);
