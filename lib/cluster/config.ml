@@ -8,6 +8,7 @@ type t = {
   clusters : (int, int list) Hashtbl.t;  (* cluster id -> sorted members *)
   node_home : (int, int) Hashtbl.t;  (* node id -> cluster id *)
   overlay : Graph.t;
+  health_cache : Over.Health_cache.t;
 }
 
 let make ~rng ?ledger ~byzantine ~clusters ~overlay () =
@@ -34,11 +35,22 @@ let make ~rng ?ledger ~byzantine ~clusters ~overlay () =
     clusters;
   if Graph.n_vertices overlay <> Hashtbl.length tbl then
     invalid_arg "Config.make: overlay vertex without a cluster";
-  { rng; ledger; byz; clusters = tbl; node_home; overlay }
+  {
+    rng;
+    ledger;
+    byz;
+    clusters = tbl;
+    node_home;
+    overlay;
+    health_cache = Over.Health_cache.create ();
+  }
 
 let rng t = t.rng
 let ledger t = t.ledger
 let overlay t = t.overlay
+
+let overlay_health ?spectral_iterations t =
+  Over.Health_cache.health t.health_cache ?spectral_iterations t.overlay
 let byzantine t node = Hashtbl.find_opt t.byz node
 let is_byzantine t node = Hashtbl.mem t.byz node
 

@@ -47,6 +47,11 @@ val ledger : t -> Metrics.Ledger.t
 val overlay : t -> Dsgraph.Graph.t
 (** The inter-cluster overlay graph (vertices are cluster ids). *)
 
+val overlay_health : ?spectral_iterations:int -> t -> Over.health
+(** {!Over.graph_health} on the overlay, memoised on the graph's mutation
+    version ({!Over.Health_cache}): between overlay changes, repeated
+    probes reuse the previous measurement byte-identically. *)
+
 val byzantine : t -> int -> Agreement.Byz_behavior.t option
 (** The behaviour a corrupted node runs, [None] for honest nodes. *)
 

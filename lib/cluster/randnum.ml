@@ -54,7 +54,10 @@ let run_session cfg ~range ~members ~n =
       | Some c -> contributions := (id, c) :: !contributions
       | None -> () (* silent member: excluded from the mix, consistently *));
       let others = List.filter (fun m -> m <> id) members in
-      Net.add_node net ~id (fun ~round ~inbox ->
+      (* Pure senders: escrow/reconstruction inboxes are modelled
+         analytically (contributions collected above), so inbox
+         materialisation is skipped. *)
+      Net.add_node ~needs_inbox:false net ~id (fun ~round ~inbox ->
           ignore inbox;
           if (round = 1 || round = 2) && contribution <> None then
             Net.multicast net ~src:id ~dsts:others ~label:"randnum" 0))

@@ -27,4 +27,18 @@ type result = {
 val transmit :
   Config.t -> src_cluster:int -> dst_cluster:int -> ?label:string -> payload:int -> unit -> result
 (** Raises [Not_found] on unknown cluster ids.  [label] defaults to
-    ["valchan"]. *)
+    ["valchan"].
+
+    Quorum checks are batched: one pass per (destination, message) built
+    from the shared honest vote count plus the destination's recorded
+    deviant votes, instead of a full {!validate} scan per sender.  All
+    messages still flow through the private net, so charging, counters,
+    trace points and Byzantine RNG draws are byte-identical to
+    {!transmit_reference}. *)
+
+val transmit_reference :
+  Config.t -> src_cluster:int -> dst_cluster:int -> ?label:string -> payload:int -> unit -> result
+(** The naive per-sender session ({!validate} over every destination's
+    full inbox) — the oracle the batched {!transmit} is equivalence-tested
+    against.  Same charging and same RNG trajectory as {!transmit}; only
+    the internal evaluation strategy differs. *)

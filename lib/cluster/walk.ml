@@ -48,7 +48,10 @@ let rand_cl_session ?duration ?(max_restarts = 1000) ?(max_hop_retries = 2) cfg 
       let hold = -.log (1.0 -. u +. (1.0 /. float_of_int coin_range)) /. float_of_int d in
       if hold >= remaining then finish ()
       else begin
-        let next = List.nth (List.sort compare (Graph.neighbors overlay current)) neighbor_index in
+        (* Same pick as sorting the neighbour list per hop, without the
+           per-hop sort: the sorted view is memoised until the overlay
+           mutates. *)
+        let next = (Graph.sorted_neighbors overlay current).(neighbor_index) in
         (* Forward the walk token over the validated channel. *)
         let res =
           Valchan.transmit cfg ~src_cluster:current ~dst_cluster:next ~label:"walk.token"

@@ -2,12 +2,19 @@ module Rng = Prng.Rng
 
 type cluster = { cid : int; members_vec : Vec.t; mutable byz : int }
 
+(* node_pos values pack (cluster id, member index) into one immediate int
+   (cid lsl pos_bits | index): the exchange loop hits this table hardest
+   and a packed value spares the pair allocation on every update. *)
+let pos_bits = 24
+
+let pos_mask = (1 lsl pos_bits) - 1
+
 type t = {
   is_byzantine : int -> bool;
   by_id : (int, cluster) Hashtbl.t;
   ids : Vec.t;  (* cluster ids, dense, for O(1) uniform sampling *)
   id_pos : (int, int) Hashtbl.t;  (* cluster id -> index in ids *)
-  node_pos : (int, int * int) Hashtbl.t;  (* node -> (cluster id, index) *)
+  node_pos : (int, int) Hashtbl.t;  (* node -> packed (cluster id, index) *)
   mutable next_cid : int;
   mutable total_nodes : int;
   mutable violating : int;
@@ -51,7 +58,9 @@ let add_member_raw t c node =
   if Hashtbl.mem t.node_pos node then
     invalid_arg "Cluster_table: node already has a cluster";
   Vec.push c.members_vec node;
-  Hashtbl.replace t.node_pos node (c.cid, Vec.length c.members_vec - 1);
+  let idx = Vec.length c.members_vec - 1 in
+  if idx > pos_mask then invalid_arg "Cluster_table: cluster too large";
+  Hashtbl.replace t.node_pos node ((c.cid lsl pos_bits) lor idx);
   if t.is_byzantine node then c.byz <- c.byz + 1;
   t.total_nodes <- t.total_nodes + 1
 
@@ -75,17 +84,13 @@ let new_cluster_with_id t ~cid ~members =
   install_cluster t cid members
 
 let remove_member_raw t c node =
-  let _, idx =
-    match Hashtbl.find_opt t.node_pos node with
-    | Some p -> p
-    | None -> raise Not_found
-  in
+  let idx = Hashtbl.find t.node_pos node land pos_mask in
   let removed = Vec.swap_remove c.members_vec idx in
   assert (removed = node);
   (* The former last element now lives at idx. *)
   if idx < Vec.length c.members_vec then begin
     let moved = Vec.get c.members_vec idx in
-    Hashtbl.replace t.node_pos moved (c.cid, idx)
+    Hashtbl.replace t.node_pos moved ((c.cid lsl pos_bits) lor idx)
   end;
   Hashtbl.remove t.node_pos node;
   if t.is_byzantine node then c.byz <- c.byz - 1;
@@ -109,16 +114,11 @@ let add_member t ~cluster ~node =
   with_violation_tracking t c (fun () -> add_member_raw t c node)
 
 let remove_member t ~node =
-  match Hashtbl.find_opt t.node_pos node with
-  | None -> raise Not_found
-  | Some (cid, _) ->
-    let c = find t cid in
-    with_violation_tracking t c (fun () -> remove_member_raw t c node)
+  let cid = Hashtbl.find t.node_pos node lsr pos_bits in
+  let c = find t cid in
+  with_violation_tracking t c (fun () -> remove_member_raw t c node)
 
-let cluster_of t node =
-  match Hashtbl.find_opt t.node_pos node with
-  | Some (cid, _) -> cid
-  | None -> raise Not_found
+let cluster_of t node = Hashtbl.find t.node_pos node lsr pos_bits
 
 let add_members t ~cluster ~nodes =
   let c = find t cluster in
@@ -129,18 +129,72 @@ let remove_members t ~cluster ~nodes =
   with_violation_tracking t c (fun () -> List.iter (remove_member_raw t c) nodes)
 
 (* The swap is one logical step: violation accounting brackets the whole
-   exchange so no transient single-node state is counted as an event. *)
+   exchange so no transient single-node state is counted as an event.
+
+   The core writes the exact final layout of
+   [remove a; remove b; add a -> cb; add b -> ca] directly — each
+   swap_remove moves the then-last element into the hole and the push
+   lands on the freed last slot, so per cluster the hole gets the old
+   last element and the last slot gets the incoming node.  Overwriting
+   node_pos in place skips the remove/re-add churn of the raw ops (the
+   exchange loop's hottest table traffic). *)
+let swap_core t a ia cca b ib ccb =
+  let ca = cca.cid and cb = ccb.cid in
+  let va = violates cca and vb = violates ccb in
+  let la = Vec.length cca.members_vec - 1 in
+  if ia < la then begin
+    let moved = Vec.get cca.members_vec la in
+    Vec.set cca.members_vec ia moved;
+    Hashtbl.replace t.node_pos moved ((ca lsl pos_bits) lor ia)
+  end;
+  Vec.set cca.members_vec la b;
+  Hashtbl.replace t.node_pos b ((ca lsl pos_bits) lor la);
+  let lb = Vec.length ccb.members_vec - 1 in
+  if ib < lb then begin
+    let moved = Vec.get ccb.members_vec lb in
+    Vec.set ccb.members_vec ib moved;
+    Hashtbl.replace t.node_pos moved ((cb lsl pos_bits) lor ib)
+  end;
+  Vec.set ccb.members_vec lb a;
+  Hashtbl.replace t.node_pos a ((cb lsl pos_bits) lor lb);
+  let ba = t.is_byzantine a and bb = t.is_byzantine b in
+  if ba <> bb then begin
+    let d = if bb then 1 else -1 in
+    cca.byz <- cca.byz + d;
+    ccb.byz <- ccb.byz - d
+  end;
+  let track before after =
+    if before && not after then t.violating <- t.violating - 1
+    else if (not before) && after then begin
+      t.violating <- t.violating + 1;
+      t.violation_events <- t.violation_events + 1
+    end
+  in
+  track vb (violates ccb);
+  track va (violates cca)
+
 let swap t a b =
-  let ca = cluster_of t a and cb = cluster_of t b in
-  if ca <> cb then begin
-    let cca = find t ca and ccb = find t cb in
-    with_violation_tracking t cca (fun () ->
-        with_violation_tracking t ccb (fun () ->
-            remove_member_raw t cca a;
-            remove_member_raw t ccb b;
-            add_member_raw t ccb a;
-            add_member_raw t cca b))
-  end
+  let pa = Hashtbl.find t.node_pos a and pb = Hashtbl.find t.node_pos b in
+  let ca = pa lsr pos_bits and cb = pb lsr pos_bits in
+  if ca <> cb then
+    swap_core t a (pa land pos_mask) (find t ca) b (pb land pos_mask) (find t cb)
+
+(* One member-exchange step: draw a uniform replacement from [dest] and
+   swap it with [node].  Byte-identical to [uniform_member] followed by
+   [swap] (same single [Rng.int] draw, same final layout) with one table
+   lookup per cluster instead of seven.  Returns the sizes of [node]'s
+   cluster and of [dest] before the swap — the exchange cost inputs. *)
+let exchange_swap t rng ~node ~dest =
+  let pa = Hashtbl.find t.node_pos node in
+  let ca = pa lsr pos_bits in
+  let cca = find t ca and ccb = find t dest in
+  let nb = Vec.length ccb.members_vec in
+  if nb = 0 then invalid_arg "Cluster_table: empty cluster";
+  let j = Rng.int rng nb in
+  let b = Vec.get ccb.members_vec j in
+  let sa = Vec.length cca.members_vec in
+  if ca <> dest then swap_core t node (pa land pos_mask) cca b j ccb;
+  (sa, nb)
 
 let size t cid = Vec.length (find t cid).members_vec
 
@@ -223,7 +277,7 @@ let check_consistency t =
       Vec.iteri
         (fun idx node ->
           (match Hashtbl.find_opt t.node_pos node with
-          | Some (hcid, hidx) when hcid = cid && hidx = idx -> ()
+          | Some p when p lsr pos_bits = cid && p land pos_mask = idx -> ()
           | _ -> failwith "Cluster_table: node_pos out of sync");
           if t.is_byzantine node then incr byz;
           incr seen_nodes)

@@ -43,6 +43,12 @@ val remove_members : t -> cluster:int -> nodes:int list -> unit
 val swap : t -> int -> int -> unit
 (** Exchange the clusters of two nodes (no-op when they share one). *)
 
+val exchange_swap : t -> Prng.Rng.t -> node:int -> dest:int -> int * int
+(** Draw a uniform member of [dest] and swap it with [node]: byte-identical
+    to {!uniform_member} followed by {!swap} (one [Rng.int] draw, same
+    final layout) with far fewer table lookups — the exchange hot path.
+    Returns [(size of node's cluster, size of dest)] before the swap. *)
+
 val cluster_of : t -> int -> int
 val size : t -> int -> int
 val byz_count : t -> int -> int

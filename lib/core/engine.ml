@@ -71,7 +71,28 @@ type t = {
   mutable merge_skips : int;
   mutable totals : totals;
   init_rep : init_report;
+  (* Pre-resolved ledger labels for the per-walk / per-swap charge sites
+     (skips a string hash per charge on the exchange hot path). *)
+  h_randcl : Ledger.handle;
+  h_swap : Ledger.handle;
+  h_view_update : Ledger.handle;
+  h_join_insert : Ledger.handle;
+  h_leave_notify : Ledger.handle;
+  (* Memoised [Cost_model.direct_hop_estimate] (pure in [n_clusters] for
+     fixed params); [hps_nc = -1] means empty. *)
+  mutable hps_nc : int;
+  mutable hps : int;
+  (* [2 * Params.max_cluster_size params], hoisted out of the per-walk
+     rejection loop (it is float math on immutable params). *)
+  split_bound : int;
 }
+
+let handles_of ledger =
+  ( Ledger.handle ledger "randcl",
+    Ledger.handle ledger "exchange.swap",
+    Ledger.handle ledger "exchange.view_update",
+    Ledger.handle ledger "join.insert",
+    Ledger.handle ledger "leave.notify" )
 
 let totals t = t.totals
 
@@ -97,7 +118,7 @@ let size t cid = Cluster_table.size t.tbl cid
    splits are disabled (static-#clusters baseline) sizes are unbounded and
    the live maximum is consulted instead. *)
 let size_bound t =
-  let bound = 2 * Params.max_cluster_size t.params in
+  let bound = t.split_bound in
   if t.params.Params.allow_split_merge then bound
   else max bound (Cluster_table.max_size t.tbl + 1)
 
@@ -122,12 +143,25 @@ let rand_cl_exact t ~start =
       ~mean_degree:(Graph.mean_degree g)
   in
   let messages = ref 0 and hops = ref 0 and restarts = ref 0 in
+  (* Consecutive hops share a vertex (this hop's destination is the next
+     hop's source), so one size lookup per hop suffices. *)
+  let last_v = ref (-1) and last_size = ref 0 in
+  let size_cached c =
+    if c <> !last_v then begin
+      last_v := c;
+      last_size := size t c
+    end;
+    !last_size
+  in
   let on_hop u v =
     incr hops;
     if Trace.net_detail () then
       Trace.point ~attrs:[ ("dst", v); ("src", u) ] ~time:t.time Trace.State
         "randcl.hop";
-    messages := !messages + Cost_model.hop_messages ~src:(size t u) ~dst:(size t v)
+    let src = size_cached u in
+    last_v := v;
+    last_size := size t v;
+    messages := !messages + Cost_model.hop_messages ~src ~dst:!last_size
   in
   let on_restart v =
     incr restarts;
@@ -143,7 +177,7 @@ let rand_cl_exact t ~start =
   let rounds =
     (!hops * Cost_model.hop_rounds) + ((!restarts + 1) * Cost_model.randnum_rounds)
   in
-  charge t ~label:"randcl" ~messages:!messages ~rounds;
+  Ledger.charge_handle t.h_randcl ~messages:!messages ~rounds;
   { wr_cluster = selected; wr_hops = !hops; wr_restarts = !restarts; wr_rounds = rounds }
 
 let rand_cl_direct t =
@@ -151,7 +185,16 @@ let rand_cl_direct t =
   let bound = size_bound t in
   let avg = max 1 (Cluster_table.n_nodes t.tbl / max 1 n_c) in
   let hops_per_segment =
-    Cost_model.direct_hop_estimate ~walk_c:t.params.Params.walk_duration_c ~n_clusters:n_c
+    if t.hps_nc = n_c then t.hps
+    else begin
+      let h =
+        Cost_model.direct_hop_estimate ~walk_c:t.params.Params.walk_duration_c
+          ~n_clusters:n_c
+      in
+      t.hps_nc <- n_c;
+      t.hps <- h;
+      h
+    end
   in
   let messages = ref 0 and hops = ref 0 and restarts = ref 0 in
   let rec attempt budget =
@@ -174,7 +217,7 @@ let rand_cl_direct t =
     (!restarts + 1)
     * ((hops_per_segment * Cost_model.hop_rounds) + Cost_model.randnum_rounds)
   in
-  charge t ~label:"randcl" ~messages:!messages ~rounds;
+  Ledger.charge_handle t.h_randcl ~messages:!messages ~rounds;
   { wr_cluster = selected; wr_hops = !hops; wr_restarts = !restarts; wr_rounds = rounds }
 
 (* State-level spans stamp the engine's own clock ([t.time]) and charge
@@ -186,18 +229,23 @@ let state_span t name attrs f =
 let rand_cl_internal t acc ~start =
   if n_clusters t <= 1 then
     { wr_cluster = start; wr_hops = 0; wr_restarts = 0; wr_rounds = 0 }
-  else
-    state_span t "randcl"
-      [ ("start", start) ]
-      (fun () ->
-        let wr =
-          match t.params.Params.walk_mode with
-          | Params.Exact_walk -> rand_cl_exact t ~start
-          | Params.Direct_sample -> rand_cl_direct t
-        in
-        acc.a_walks <- acc.a_walks + 1;
-        acc.a_hops <- acc.a_hops + wr.wr_hops;
-        wr)
+  else begin
+    let run () =
+      let wr =
+        match t.params.Params.walk_mode with
+        | Params.Exact_walk -> rand_cl_exact t ~start
+        | Params.Direct_sample -> rand_cl_direct t
+      in
+      acc.a_walks <- acc.a_walks + 1;
+      acc.a_hops <- acc.a_hops + wr.wr_hops;
+      wr
+    in
+    (* With no collector installed [with_span] is exactly [run ()]; the
+       explicit guard just skips allocating the attrs list on the
+       millions-of-walks hot path. *)
+    if Trace.active () then state_span t "randcl" [ ("start", start) ] run
+    else run ()
+  end
 
 (* ------------------------------------------------------------------ *)
 (* exchange                                                            *)
@@ -210,10 +258,8 @@ let exchange_node t acc node =
   let dest = wr.wr_cluster in
   if dest = home then (home, wr.wr_rounds)
   else begin
-    let s_home = size t home and s_dest = size t dest in
-    let replacement = Cluster_table.uniform_member t.tbl t.rng dest in
-    Cluster_table.swap t.tbl node replacement;
-    charge t ~label:"exchange.swap"
+    let s_home, s_dest = Cluster_table.exchange_swap t.tbl t.rng ~node ~dest in
+    Ledger.charge_handle t.h_swap
       ~messages:
         (Cost_model.valchan_messages ~src:s_home ~dst:s_dest
         + Cost_model.randnum_messages ~size:s_dest
@@ -243,7 +289,7 @@ let exchange_all t acc cid =
       (fun sum c -> sum + sum_neighbor_view_cost t c)
       0 (cid :: touched)
   in
-  charge t ~label:"exchange.view_update" ~messages:view_messages ~rounds:1;
+  Ledger.charge_handle t.h_view_update ~messages:view_messages ~rounds:1;
   acc.a_rounds <- acc.a_rounds + !max_rounds + 1;
   touched
 
@@ -351,7 +397,7 @@ let join_existing t acc node =
   let g = Over.graph t.over in
   let neighborhood_size = ref (size t dest) in
   Graph.iter_neighbors g dest (fun nb -> neighborhood_size := !neighborhood_size + size t nb);
-  charge t ~label:"join.insert"
+  Ledger.charge_handle t.h_join_insert
     ~messages:(sum_neighbor_view_cost t dest + !neighborhood_size)
     ~rounds:2;
   acc.a_rounds <- acc.a_rounds + wr.wr_rounds + 2;
@@ -432,7 +478,7 @@ let leave_run t node =
   Node.Roster.remove t.roster node;
   Cluster_table.remove_member t.tbl ~node;
   (* Members of C drop x from their views and tell the neighbours. *)
-  charge t ~label:"leave.notify"
+  Ledger.charge_handle t.h_leave_notify
     ~messages:(size t cid + sum_neighbor_view_cost t cid)
     ~rounds:1;
   acc.a_rounds <- acc.a_rounds + 1;
@@ -549,6 +595,9 @@ let create ?(seed = 0x5EEDL) params ~initial =
       initial_clusters = List.length cluster_ids;
     }
   in
+  let h_randcl, h_swap, h_view_update, h_join_insert, h_leave_notify =
+    handles_of ledger
+  in
   {
     params;
     rng;
@@ -561,6 +610,14 @@ let create ?(seed = 0x5EEDL) params ~initial =
     merge_skips = 0;
     totals = zero_totals;
     init_rep;
+    h_randcl;
+    h_swap;
+    h_view_update;
+    h_join_insert;
+    h_leave_notify;
+    hps_nc = -1;
+    hps = 0;
+    split_bound = 2 * Params.max_cluster_size params;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -840,6 +897,9 @@ let load data =
   List.iter
     (fun (label, messages, rounds) -> Metrics.Ledger.charge ledger ~label ~messages ~rounds)
     !ledger_entries;
+  let h_randcl, h_swap, h_view_update, h_join_insert, h_leave_notify =
+    handles_of ledger
+  in
   {
     params;
     rng;
@@ -852,6 +912,14 @@ let load data =
     merge_skips = !merge_skips;
     totals = !totals;
     init_rep;
+    h_randcl;
+    h_swap;
+    h_view_update;
+    h_join_insert;
+    h_leave_notify;
+    hps_nc = -1;
+    hps = 0;
+    split_bound = 2 * Params.max_cluster_size params;
   }
 
 let check_invariants t =

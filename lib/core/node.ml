@@ -11,38 +11,56 @@ let pp_honesty ppf = function
 module Roster = struct
   (* Honesty assignments are permanent (the adversary is static): a
      departed node keeps its record so late bookkeeping — e.g. removing it
-     from a cluster after it left — can still classify it. *)
+     from a cluster after it left — can still classify it.  Ids are
+     allocated sequentially, so both records live in flat arrays and the
+     per-swap honesty checks of the exchange loop are plain loads. *)
   type t = {
-    all : (id, honesty) Hashtbl.t;
-    present : (id, unit) Hashtbl.t;
+    mutable all : honesty array;  (* index = id, valid below next_id *)
+    mutable present : bool array;
     mutable next_id : int;
+    mutable present_count : int;
     mutable byz_present : int;
   }
 
   let create () =
-    { all = Hashtbl.create 1024; present = Hashtbl.create 1024; next_id = 0; byz_present = 0 }
+    {
+      all = Array.make 1024 Honest;
+      present = Array.make 1024 false;
+      next_id = 0;
+      present_count = 0;
+      byz_present = 0;
+    }
 
   let fresh t honesty =
     let id = t.next_id in
+    if id = Array.length t.all then begin
+      let all = Array.make (2 * id) Honest in
+      Array.blit t.all 0 all 0 id;
+      t.all <- all;
+      let present = Array.make (2 * id) false in
+      Array.blit t.present 0 present 0 id;
+      t.present <- present
+    end;
     t.next_id <- id + 1;
-    Hashtbl.replace t.all id honesty;
-    Hashtbl.replace t.present id ();
+    t.all.(id) <- honesty;
+    t.present.(id) <- true;
+    t.present_count <- t.present_count + 1;
     if is_byzantine honesty then t.byz_present <- t.byz_present + 1;
     id
 
   let honesty t id =
-    match Hashtbl.find_opt t.all id with
-    | Some h -> h
-    | None -> raise Not_found
+    if id < 0 || id >= t.next_id then raise Not_found;
+    t.all.(id)
 
-  let is_present t id = Hashtbl.mem t.present id
+  let is_present t id = id >= 0 && id < t.next_id && t.present.(id)
 
   let remove t id =
-    if not (Hashtbl.mem t.present id) then raise Not_found;
-    Hashtbl.remove t.present id;
-    if is_byzantine (honesty t id) then t.byz_present <- t.byz_present - 1
+    if not (is_present t id) then raise Not_found;
+    t.present.(id) <- false;
+    t.present_count <- t.present_count - 1;
+    if is_byzantine t.all.(id) then t.byz_present <- t.byz_present - 1
 
-  let count t = Hashtbl.length t.present
+  let count t = t.present_count
 
   let byzantine_count t = t.byz_present
 
@@ -52,5 +70,8 @@ module Roster = struct
 
   let total_allocated t = t.next_id
 
-  let iter t f = Hashtbl.iter (fun id () -> f id (honesty t id)) t.present
+  let iter t f =
+    for id = 0 to t.next_id - 1 do
+      if t.present.(id) then f id t.all.(id)
+    done
 end

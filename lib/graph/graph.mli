@@ -9,6 +9,11 @@ type t
 
 val create : unit -> t
 
+val version : t -> int
+(** Mutation counter: bumped by every effective vertex/edge change.
+    Caches keyed on [(physical graph, version)] stay valid exactly as
+    long as the version is unchanged. *)
+
 val add_vertex : t -> int -> unit
 (** Idempotent. *)
 
@@ -30,6 +35,19 @@ val degree : t -> int -> int
 (** 0 for absent vertices. *)
 
 val neighbors : t -> int -> int list
+
+val neighbor_array : t -> int -> int array
+(** Neighbours in hash-table iteration order — the order
+    {!random_neighbor} indexes, memoised per vertex until the next
+    mutation of that vertex's edges ([[||]] for absent vertices).  One
+    lookup serves both the degree and the pick, which is what the
+    random-walk hot loop needs.  The returned array is shared — callers
+    must not mutate it. *)
+
+val sorted_neighbors : t -> int -> int array
+(** Neighbours in ascending order, memoised per vertex until the next
+    mutation of that vertex's edges.  The returned array is shared —
+    callers must not mutate it. *)
 
 val iter_neighbors : t -> int -> (int -> unit) -> unit
 

@@ -23,6 +23,33 @@ let charge t ~label ~messages ~rounds =
   t.total_messages <- t.total_messages + messages;
   t.total_rounds <- t.total_rounds + rounds
 
+(* Handles resolve the label entry lazily (on first charge, not at
+   creation) so that a handle that is never charged leaves no zero-count
+   label behind in [labels] — serialised ledgers must list exactly the
+   labels that were actually charged. *)
+type handle = {
+  h_ledger : t;
+  h_label : string;
+  mutable h_entry : entry option;
+}
+
+let handle t label = { h_ledger = t; h_label = label; h_entry = None }
+
+let charge_handle h ~messages ~rounds =
+  let t = h.h_ledger in
+  let e =
+    match h.h_entry with
+    | Some e -> e
+    | None ->
+      let e = entry t h.h_label in
+      h.h_entry <- Some e;
+      e
+  in
+  e.messages <- e.messages + messages;
+  e.rounds <- e.rounds + rounds;
+  t.total_messages <- t.total_messages + messages;
+  t.total_rounds <- t.total_rounds + rounds
+
 let total_messages t = t.total_messages
 
 let total_rounds t = t.total_rounds

@@ -13,6 +13,19 @@ val create : unit -> t
 val charge : t -> label:string -> messages:int -> rounds:int -> unit
 (** Add [messages] messages and [rounds] sequential rounds under [label]. *)
 
+type handle
+(** A pre-resolved label for hot charge sites: skips the per-call label
+    hashing of {!charge}.  The underlying entry is looked up lazily on
+    the first {!charge_handle}, so an uncharged handle adds no zero-count
+    label to {!labels}.  A handle is bound to the ledger it was created
+    from; {!reset} detaches live handles (their later charges would land
+    on orphaned entries), so do not mix the two. *)
+
+val handle : t -> string -> handle
+
+val charge_handle : handle -> messages:int -> rounds:int -> unit
+(** Same accounting as {!charge} on the handle's ledger and label. *)
+
 val total_messages : t -> int
 val total_rounds : t -> int
 

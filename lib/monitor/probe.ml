@@ -158,9 +158,9 @@ let sample_config store ?(labels = []) ?(spectral_iterations = 200)
   in
   sample_honest store ~labels ~time stats;
   sample_sizes store ~labels ~time (List.map (fun (_, s, _) -> s) stats);
-  let health =
-    Over.graph_health ~spectral_iterations (Cluster.Config.overlay cfg)
-  in
+  (* Memoised on the overlay's mutation version (Over.Health_cache inside
+     the config): a read-only hit, so sampling stays zero-perturbation. *)
+  let health = Cluster.Config.overlay_health ~spectral_iterations cfg in
   sample_health store ~labels ~time ?degree_bound health;
   sample_ledger store ~labels ~time (Cluster.Config.ledger cfg)
 

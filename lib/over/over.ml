@@ -5,9 +5,16 @@ type t = {
   rng : Rng.t;
   target_degree : n_vertices:int -> int;
   g : Graph.t;
+  health_cache : Overlay_health.Cache.t;
 }
 
-let create ~rng ~target_degree = { rng; target_degree; g = Graph.create () }
+let create ~rng ~target_degree =
+  {
+    rng;
+    target_degree;
+    g = Graph.create ();
+    health_cache = Overlay_health.Cache.create ();
+  }
 
 let rng_state t = Rng.save t.rng
 
@@ -127,10 +134,13 @@ type health = Overlay_health.health = {
 
 let graph_health = Overlay_health.graph_health
 
-let health ?spectral_iterations t = graph_health ?spectral_iterations t.g
+let health ?spectral_iterations t =
+  Overlay_health.Cache.health t.health_cache ?spectral_iterations t.g
 
 let health_metrics = Overlay_health.health_metrics
 let pp_health = Overlay_health.pp_health
+
+module Health_cache = Overlay_health.Cache
 
 (* Re-export the alternative overlay construction (this file is the
    library's root module, so siblings must be surfaced explicitly). *)

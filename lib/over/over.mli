@@ -81,7 +81,9 @@ type health = Overlay_health.health = {
 }
 
 val health : ?spectral_iterations:int -> t -> health
-(** Measure Properties 1 and 2 on the current overlay. *)
+(** Measure Properties 1 and 2 on the current overlay.  Memoised on the
+    graph's mutation version (see {!Health_cache}): repeated queries
+    between churn events reuse the previous measurement, byte-identically. *)
 
 val graph_health : ?spectral_iterations:int -> Dsgraph.Graph.t -> health
 (** The same measurement on any graph (used to compare alternative overlay
@@ -93,6 +95,11 @@ val health_metrics : health -> (string * float) list
     monitor's overlay probe). *)
 
 val pp_health : Format.formatter -> health -> unit
+
+module Health_cache = Overlay_health.Cache
+(** Incrementally-invalidated health memo (re-exported sibling module);
+    see {!Overlay_health.Cache}.  Embed one next to any graph whose health
+    is polled more often than it is mutated. *)
 
 module Cycles = Cycles
 (** Alternative expander overlay — the Law-Siu union of random cycles

@@ -43,6 +43,38 @@ let health_metrics h =
     ("vertices", float_of_int h.n_vertices);
   ]
 
+(* A one-slot memo keyed on the graph's mutation version.  The measurement
+   is a pure function of the edge set and the iteration budget (power
+   iteration, no randomness), so replaying a hit is observably identical
+   to recomputing — probes stay read-only and tables cannot change. *)
+module Cache = struct
+  type nonrec t = {
+    mutable version : int;
+    mutable iterations : int;
+    mutable value : health option;
+    mutable hits : int;
+    mutable misses : int;
+  }
+
+  let create () = { version = -1; iterations = -1; value = None; hits = 0; misses = 0 }
+
+  let health t ?(spectral_iterations = 500) g =
+    let version = Graph.version g in
+    match t.value with
+    | Some h when t.version = version && t.iterations = spectral_iterations ->
+      t.hits <- t.hits + 1;
+      h
+    | _ ->
+      let h = graph_health ~spectral_iterations g in
+      t.version <- version;
+      t.iterations <- spectral_iterations;
+      t.value <- Some h;
+      t.misses <- t.misses + 1;
+      h
+
+  let stats t = (t.hits, t.misses)
+end
+
 let pp_health ppf h =
   Format.fprintf ppf
     "vertices=%d edges=%d degree[%d..%d] mean=%.1f connected=%b I(G) in [%.3f, %.3f]"

@@ -25,5 +25,24 @@ val health_metrics : health -> (string * float) list
     expansion estimates are passed through; consumers that cannot
     represent them must filter. *)
 
+module Cache : sig
+  type t
+  (** One-slot health memo keyed on {!Dsgraph.Graph.version} and the
+      iteration budget.  [graph_health] is deterministic (power iteration,
+      no randomness), so a cache hit returns byte-identical metrics to a
+      recompute; reads never touch an RNG or mutate the graph, keeping
+      monitor probes zero-perturbation. *)
+
+  val create : unit -> t
+
+  val health : t -> ?spectral_iterations:int -> Dsgraph.Graph.t -> health
+  (** [graph_health], memoised: recomputes only when the graph's version
+      (any edge/vertex mutation) or [spectral_iterations] changed since
+      the previous call. *)
+
+  val stats : t -> int * int
+  (** [(hits, misses)] since creation — observability for tests. *)
+end
+
 val pp_health : Format.formatter -> health -> unit
 (** One-line human-readable rendering. *)

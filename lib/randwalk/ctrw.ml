@@ -3,18 +3,20 @@ module Rng = Prng.Rng
 
 let walk g rng ~start ~duration ?(on_hop = fun _ _ -> ()) () =
   let rec go v remaining hops =
-    let d = Graph.degree g v in
+    (* One adjacency lookup serves the degree and the pick; the array is
+       in hash-table iteration order, so indexing it draws the same
+       neighbour as [Graph.random_neighbor] for the same [Rng.int]. *)
+    let nbrs = Graph.neighbor_array g v in
+    let d = Array.length nbrs in
     if d = 0 then (v, hops)
     else begin
       (* Each adjacent edge fires at rate 1 => holding time Exp(deg v). *)
       let hold = Rng.exponential rng (float_of_int d) in
       if hold >= remaining then (v, hops)
       else begin
-        match Graph.random_neighbor g rng v with
-        | None -> (v, hops)
-        | Some u ->
-          on_hop v u;
-          go u (remaining -. hold) (hops + 1)
+        let u = nbrs.(Rng.int rng d) in
+        on_hop v u;
+        go u (remaining -. hold) (hops + 1)
       end
     end
   in

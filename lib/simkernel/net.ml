@@ -1,9 +1,14 @@
 type 'msg handler = round:int -> inbox:(int * 'msg) list -> unit
 
-type 'msg node = { mutable handler : 'msg handler; mutable inbox_rev : (int * 'msg) list }
+type 'msg node = {
+  mutable handler : 'msg handler;
+  mutable inbox_rev : (int * 'msg) list;
+  needs_inbox : bool;
+}
 
 type 'msg t = {
   nodes : (int, 'msg node) Hashtbl.t;
+  mutable ids_cache : int list option;  (* sorted live ids, rebuilt on churn *)
   mutable pending : (int * int * 'msg) list;  (* (src, dst, msg), reversed send order *)
   mutable round : int;
   mutable messages_sent : int;
@@ -15,6 +20,7 @@ let create ?ledger () =
   let ledger = match ledger with Some l -> l | None -> Metrics.Ledger.create () in
   {
     nodes = Hashtbl.create 256;
+    ids_cache = None;
     pending = [];
     round = 0;
     messages_sent = 0;
@@ -24,23 +30,34 @@ let create ?ledger () =
 
 let ledger t = t.ledger
 
-let add_node t ~id handler =
+let add_node ?(needs_inbox = true) t ~id handler =
   if Hashtbl.mem t.nodes id then invalid_arg "Net.add_node: id already in use";
-  Hashtbl.add t.nodes id { handler; inbox_rev = [] }
+  Hashtbl.add t.nodes id { handler; inbox_rev = []; needs_inbox };
+  t.ids_cache <- None
 
 let replace_handler t ~id handler =
   match Hashtbl.find_opt t.nodes id with
   | Some node -> node.handler <- handler
   | None -> invalid_arg "Net.replace_handler: unknown node"
 
-let remove_node t id = Hashtbl.remove t.nodes id
+let remove_node t id =
+  Hashtbl.remove t.nodes id;
+  t.ids_cache <- None
 
 let is_alive t id = Hashtbl.mem t.nodes id
 
 let nodes t =
-  Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort compare
+  match t.ids_cache with
+  | Some ids -> ids
+  | None ->
+    let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort compare in
+    t.ids_cache <- Some ids;
+    ids
 
-let send t ~src ~dst ?(label = "msg") ?(deviant = false) msg =
+(* Queue + count + trace one message; ledger charging is the caller's
+   (so [multicast] can charge its whole batch in one ledger update —
+   observably identical, the ledger only accumulates totals). *)
+let send_uncharged t ~src ~dst ~label ~deviant msg =
   if not (is_alive t src) then invalid_arg "Net.send: sender is not alive";
   t.pending <- (src, dst, msg) :: t.pending;
   t.messages_sent <- t.messages_sent + 1;
@@ -52,11 +69,20 @@ let send t ~src ~dst ?(label = "msg") ?(deviant = false) msg =
   end;
   if Trace.net_detail () then
     Trace.point ~attrs:[ ("dst", dst); ("src", src) ] ~time:t.round Trace.Net
-      ("net.send." ^ label);
+      ("net.send." ^ label)
+
+let send t ~src ~dst ?(label = "msg") ?(deviant = false) msg =
+  send_uncharged t ~src ~dst ~label ~deviant msg;
   Metrics.Ledger.charge t.ledger ~label ~messages:1 ~rounds:0
 
-let multicast t ~src ~dsts ?label msg =
-  List.iter (fun dst -> send t ~src ~dst ?label msg) dsts
+let multicast t ~src ~dsts ?(label = "msg") msg =
+  let n = ref 0 in
+  List.iter
+    (fun dst ->
+      incr n;
+      send_uncharged t ~src ~dst ~label ~deviant:false msg)
+    dsts;
+  if !n > 0 then Metrics.Ledger.charge t.ledger ~label ~messages:!n ~rounds:0
 
 let round t = t.round
 
@@ -65,7 +91,11 @@ let run_round t =
   List.iter
     (fun (src, dst, msg) ->
       match Hashtbl.find_opt t.nodes dst with
-      | Some node -> node.inbox_rev <- (src, msg) :: node.inbox_rev
+      | Some node ->
+        (* Senders-only nodes opt out of inbox materialisation: their
+           handlers ignore [inbox], so skipping the cons (and the later
+           sort) cannot change behaviour. *)
+        if node.needs_inbox then node.inbox_rev <- (src, msg) :: node.inbox_rev
       | None -> () (* destination departed: message lost *))
     (List.rev t.pending);
   t.pending <- [];
@@ -82,7 +112,10 @@ let run_round t =
       | None -> () (* removed by an earlier handler this round *)
       | Some node ->
         let inbox =
-          List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev node.inbox_rev)
+          match node.inbox_rev with
+          | [] -> []
+          | inbox_rev ->
+            List.stable_sort (fun (a, _) (b, _) -> compare a b) (List.rev inbox_rev)
         in
         node.inbox_rev <- [];
         node.handler ~round:t.round ~inbox)

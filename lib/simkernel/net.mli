@@ -34,8 +34,15 @@ val create : ?ledger:Metrics.Ledger.t -> unit -> 'msg t
 val ledger : 'msg t -> Metrics.Ledger.t
 (** The ledger every send and round of this network is charged to. *)
 
-val add_node : 'msg t -> id:int -> 'msg handler -> unit
-(** Register a node.  Raises [Invalid_argument] if the id is in use. *)
+val add_node : ?needs_inbox:bool -> 'msg t -> id:int -> 'msg handler -> unit
+(** Register a node.  Raises [Invalid_argument] if the id is in use.
+
+    [needs_inbox] (default [true]): pass [false] for nodes whose handler
+    never reads [inbox] (pure senders, analytically-evaluated receivers).
+    Messages to them are still sent, counted and traced identically, but
+    the kernel skips materialising and sorting their inbox — a hot-path
+    allocation saving that cannot change behaviour, since the handler
+    ignores the (then always empty) inbox by contract. *)
 
 val replace_handler : 'msg t -> id:int -> 'msg handler -> unit
 (** Swap a node's behaviour (e.g. between protocol phases). *)
@@ -64,7 +71,9 @@ val send : 'msg t -> src:int -> dst:int -> ?label:string -> ?deviant:bool -> 'ms
     same delivery, same stamped sender identity. *)
 
 val multicast : 'msg t -> src:int -> dsts:int list -> ?label:string -> 'msg -> unit
-(** One {!send} per destination. *)
+(** One {!send} per destination.  The ledger is charged once for the whole
+    batch (same totals as per-destination charging; the ledger holds only
+    accumulated counts, so batching is observably identical). *)
 
 val round : 'msg t -> int
 (** The current round number (0 before the first {!run_round}). *)

@@ -241,6 +241,44 @@ let test_monitoring_is_zero_perturbation () =
          List.mem ("experiment", "E3") s.Store.labels)
        (Store.samples store))
 
+(* The overlay probes now read degree/expansion through the health cache
+   (Config.overlay_health / Over.Health_cache).  Cached reads must stay as
+   invisible as uncached ones: an engine trajectory probed every step
+   saves byte-identically to an unprobed twin, and repeated config probes
+   between sessions leave a valchan run's outcome and charges untouched. *)
+let test_cached_probes_zero_perturbation () =
+  let trajectory ~probe =
+    let store = Store.create () in
+    let engine = small_engine 91 in
+    if probe then Monitor.Probe.sample_engine store ~time:0 engine;
+    for step = 1 to 25 do
+      ignore (Engine.join engine Node.Honest);
+      ignore (Engine.leave engine (Engine.random_node engine));
+      if probe then Monitor.Probe.sample_engine store ~time:step engine
+    done;
+    (Engine.save engine, Store.n_samples store)
+  in
+  let plain, _ = trajectory ~probe:false in
+  let probed, n_samples = trajectory ~probe:true in
+  checks "engine snapshot identical with per-step probing" plain probed;
+  checkb "probes actually sampled (cache exercised)" true (n_samples > 0);
+  let session ~probe =
+    let cfg = msg_config ~seed:92 ~byz_per_cluster:2 in
+    let store = Store.create () in
+    if probe then
+      for time = 0 to 3 do
+        Monitor.Probe.sample_config store ~time cfg
+      done;
+    let r =
+      Cluster.Valchan.transmit cfg ~src_cluster:0 ~dst_cluster:1 ~payload:5 ()
+    in
+    ( r.Cluster.Valchan.unanimous,
+      r.Cluster.Valchan.verdicts,
+      Metrics.Ledger.labels (Cluster.Config.ledger cfg) )
+  in
+  checkb "valchan outcome identical after repeated cached probes" true
+    (session ~probe:false = session ~probe:true)
+
 let suite =
   [
     Alcotest.test_case "store canonical order" `Quick test_store_canonical_order;
@@ -263,4 +301,6 @@ let suite =
       test_ingest_trace_buckets_points;
     Alcotest.test_case "monitoring is zero-perturbation (E3)" `Slow
       test_monitoring_is_zero_perturbation;
+    Alcotest.test_case "cached probes are zero-perturbation" `Quick
+      test_cached_probes_zero_perturbation;
   ]

@@ -155,6 +155,86 @@ let prop_snapshot_roundtrip_any_script =
       let s2 = Engine.save (Engine.load s1) in
       s1 = s2)
 
+(* ---------- batched valchan vs the naive per-sender oracle ---------- *)
+
+(* Two configs built from the same seed follow the same RNG trajectory, so
+   the batched session and the reference session can be compared on equal
+   footing (running both on one config would interleave their draws). *)
+let mk_valchan_cfg seed ~src_size ~dst_size ~src_byz ~dst_byz =
+  let module B = Agreement.Byz_behavior in
+  let strategies = [| B.Silent; B.Fixed 9; B.Equivocate (1, 2); B.Random_noise 3 |] in
+  let byz node =
+    if node < 100 then
+      if node < src_byz then Some strategies.(node mod 4) else None
+    else if node - 100 < dst_byz then Some strategies.((node - 100) mod 4)
+    else None
+  in
+  let clusters =
+    [
+      (0, List.init src_size (fun i -> i));
+      (1, List.init dst_size (fun i -> 100 + i));
+    ]
+  in
+  let overlay = Dsgraph.Graph.create () in
+  ignore (Dsgraph.Graph.add_edge overlay 0 1);
+  Cluster.Config.make ~rng:(Rng.of_int seed) ~byzantine:byz ~clusters ~overlay ()
+
+let prop_valchan_batched_equals_reference =
+  QCheck.Test.make
+    ~name:"valchan: batched transmit == per-sender reference (verdicts + charges)"
+    ~count:80
+    QCheck.(
+      quad small_int (int_range 3 13) (int_range 3 13)
+        (pair (int_range 0 4) (int_range 0 4)))
+    (fun (seed, src_size, dst_size, (src_byz, dst_byz)) ->
+      let src_byz = min src_byz (src_size - 1) and dst_byz = min dst_byz (dst_size - 1) in
+      let cfg1 = mk_valchan_cfg seed ~src_size ~dst_size ~src_byz ~dst_byz in
+      let cfg2 = mk_valchan_cfg seed ~src_size ~dst_size ~src_byz ~dst_byz in
+      let r1 =
+        Cluster.Valchan.transmit cfg1 ~src_cluster:0 ~dst_cluster:1 ~payload:7 ()
+      in
+      let r2 =
+        Cluster.Valchan.transmit_reference cfg2 ~src_cluster:0 ~dst_cluster:1
+          ~payload:7 ()
+      in
+      r1.Cluster.Valchan.unanimous = r2.Cluster.Valchan.unanimous
+      && r1.Cluster.Valchan.verdicts = r2.Cluster.Valchan.verdicts
+      && Metrics.Ledger.labels (Cluster.Config.ledger cfg1)
+         = Metrics.Ledger.labels (Cluster.Config.ledger cfg2))
+
+(* ---------- overlay-health cache vs recompute from scratch ---------- *)
+
+let prop_health_cache_matches_recompute =
+  QCheck.Test.make
+    ~name:"overlay health cache == recompute after any mutation sequence" ~count:40
+    QCheck.(
+      pair small_int (list_of_size (QCheck.Gen.int_range 1 40) (pair bool small_int)))
+    (fun (seed, ops) ->
+      let rng = Rng.of_int seed in
+      let g = Dsgraph.Gen.erdos_renyi rng ~n:12 ~p:0.4 in
+      let cache = Over.Health_cache.create () in
+      let ok = ref true in
+      let check () =
+        let cached = Over.Health_cache.health cache ~spectral_iterations:50 g in
+        let fresh = Over.graph_health ~spectral_iterations:50 g in
+        if cached <> fresh then ok := false;
+        (* A second read without mutation must hit and stay identical. *)
+        if Over.Health_cache.health cache ~spectral_iterations:50 g <> fresh then
+          ok := false
+      in
+      check ();
+      List.iter
+        (fun (add, k) ->
+          let u = k mod 12 and v = (k / 12) mod 12 in
+          if add then ignore (Dsgraph.Graph.add_edge g u v)
+          else ignore (Dsgraph.Graph.remove_edge g u v);
+          check ())
+        ops;
+      let hits, misses = Over.Health_cache.stats cache in
+      (* Every mutation forces at most one recompute; the paired re-reads
+         must all have hit. *)
+      !ok && hits >= misses && misses <= 1 + List.length ops)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest prop_over_degree_cap;
@@ -165,4 +245,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_engine_exchange_conserves;
     QCheck_alcotest.to_alcotest prop_engine_rand_cl_valid;
     QCheck_alcotest.to_alcotest prop_snapshot_roundtrip_any_script;
+    QCheck_alcotest.to_alcotest prop_valchan_batched_equals_reference;
+    QCheck_alcotest.to_alcotest prop_health_cache_matches_recompute;
   ]
