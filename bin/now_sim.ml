@@ -8,6 +8,8 @@
      byz           inject a Byzantine behaviour into the message engine
      trace         record a deterministic trace + per-primitive profile
      monitor       time-series sample the paper's invariants, export a dashboard
+     audit         record the canonical per-subsystem digest stream of a run
+     bisect        find the first step/subsystem where two runs diverge
      init          run only the initialisation phase and report its cost
 
    The byz / trace / monitor / scenario sub-commands are thin wrappers
@@ -788,6 +790,255 @@ let monitor_cmd =
           scenario and export JSONL / CSV / an SVG dashboard.")
     term
 
+(* ---------------- audit ---------------- *)
+
+let audit_cadence_t =
+  Arg.(
+    value & opt int 1
+    & info [ "cadence" ] ~docv:"K"
+        ~doc:"Record a digest frame every K-th sim-time step.")
+
+let audit_cmd =
+  let engine_t = engine_pos_t ~what:"audit" in
+  let out_t =
+    Arg.(
+      value & opt string "digests.jsonl"
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the digest stream to FILE.")
+  in
+  let cells_t =
+    cells_t
+      ~doc:
+        "Independent simulation cells, fanned out on the Exec pool; the \
+         stream is byte-identical for any $(b,-j)."
+  in
+  let run engine scenario out cells steps cadence seed jobs =
+    setup_jobs jobs;
+    if cells < 1 then `Error (true, "need at least one cell")
+    else if (match steps with Some s -> s < 1 | None -> false) then
+      `Error (true, "need at least one step")
+    else if cadence < 1 then `Error (true, "cadence must be >= 1")
+    else
+      match resolve_spec ~engine ~scenario ~steps with
+      | Error msg -> `Error (false, msg)
+      | Ok spec ->
+        let recorder = Audit.create ~cadence () in
+        let results =
+          Audit.with_recorder recorder (fun () ->
+              Scenario.cells ~engine ~seed ~cells spec)
+        in
+        write_file out (Audit.Export.jsonl_string recorder);
+        Printf.printf "wrote %s\n" out;
+        Printf.printf
+          "scenario %s on %s: %d cells x %d steps (cadence %d), %d simulated \
+           messages\n\
+           digest frames: %d (%d subsystems per recorded step)\n"
+          spec.Scenario.Spec.name (Scenario.engine_name engine) cells
+          spec.Scenario.Spec.steps cadence (total_messages results)
+          (Audit.Recorder.n_frames recorder)
+          (List.length Audit.Digest_of.subsystems);
+        `Ok ()
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ engine_t $ scenario_name_t ~default:"steady" $ out_t
+       $ cells_t $ opt_steps_t $ audit_cadence_t $ seed_t $ jobs_t))
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Record the flight recorder's canonical per-subsystem digest \
+          stream over a deterministic scenario (compare runs with \
+          $(b,bisect)).")
+    term
+
+(* ---------------- bisect ---------------- *)
+
+(* The mis-seeding demo: one message-level cell on a static spec (no
+   churn, no drive), stepped by hand.  Steps consume no randomness, so
+   after [perturb] draws are stolen from the cell's stream between steps
+   [at] and [at+1], exactly one subsystem digest — rng — differs from
+   step [at+1] on: the bisection must localise to that step and name
+   that subsystem. *)
+let bisect_static_spec ~steps =
+  {
+    Scenario.Spec.default with
+    Scenario.Spec.name = "bisect-static";
+    churn = Scenario.Spec.Static;
+    drive = Scenario.Spec.no_drive;
+    steps;
+  }
+
+let bisect_manual_run ~spec ~seed ~steps ~cadence ~perturb =
+  let recorder = Audit.create ~cadence () in
+  let d =
+    Scenario.Msg_driver.create_cell ~seed ~cell:0 ~labels:[ ("cell", "0") ]
+      spec
+  in
+  Audit.with_recorder recorder (fun () ->
+      for time = 1 to steps do
+        Scenario.Msg_driver.step d ~time;
+        match perturb with
+        | Some (n, at) when time = at ->
+          let rng = Scenario.Msg_driver.rng d in
+          for _ = 1 to n do
+            ignore (Rng.int rng 1_000_000)
+          done
+        | _ -> ()
+      done);
+  recorder
+
+let bisect_cells_run ~engine ~spec ~seed ~cells ~cadence ~jobs =
+  let recorder = Audit.create ~cadence () in
+  ignore
+    (Audit.with_recorder recorder (fun () ->
+         Scenario.cells ?jobs ~engine ~seed ~cells spec));
+  recorder
+
+let bisect_cmd =
+  let engine_t = engine_pos_t ~what:"bisect" in
+  let file_a_t =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file-a" ] ~docv:"FILE"
+          ~doc:"Digest stream of run A (written by $(b,audit --out)).")
+  in
+  let file_b_t =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "file-b" ] ~docv:"FILE" ~doc:"Digest stream of run B.")
+  in
+  let jobs_a_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs-a" ] ~docv:"N" ~doc:"Worker domains for run A (default $(b,-j)).")
+  in
+  let jobs_b_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs-b" ] ~docv:"N" ~doc:"Worker domains for run B (default $(b,-j)).")
+  in
+  let seed_b_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "seed-b" ] ~docv:"SEED"
+          ~doc:"Seed for run B (default $(b,--seed): identical seeding).")
+  in
+  let perturb_rng_t =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "perturb-rng" ] ~docv:"N"
+          ~doc:
+            "Demo mode: steal N draws from run B's RNG stream mid-run \
+             (with $(b,--perturb-at)); runs one message-level cell of a \
+             static scenario so only the $(b,rng) subsystem can diverge.")
+  in
+  let perturb_at_t =
+    Arg.(
+      value & opt int 10
+      & info [ "perturb-at" ] ~docv:"STEP"
+          ~doc:"Inject the perturbation between STEP and STEP+1 (default 10).")
+  in
+  let cells_t =
+    cells_t ~doc:"Independent simulation cells per run (double-run modes)."
+  in
+  let run engine scenario file_a file_b jobs_a jobs_b seed_b perturb_rng
+      perturb_at cells steps cadence seed jobs =
+    setup_jobs jobs;
+    let report a_frames b_frames =
+      match Audit.Bisect.first_divergence a_frames b_frames with
+      | None ->
+        Printf.printf "streams agree: %d frames, no divergence\n"
+          (List.length a_frames);
+        `Ok ()
+      | Some d ->
+        print_endline (Audit.Bisect.describe d);
+        `Ok ()
+    in
+    match (file_a, file_b) with
+    | Some a, Some b -> (
+      let read path =
+        let ic = open_in_bin path in
+        let len = in_channel_length ic in
+        let data = really_input_string ic len in
+        close_in ic;
+        Audit.Export.of_jsonl data
+      in
+      match (read a, read b) with
+      | Error msg, _ -> `Error (false, Printf.sprintf "%s: %s" a msg)
+      | _, Error msg -> `Error (false, Printf.sprintf "%s: %s" b msg)
+      | Ok fa, Ok fb -> report fa fb)
+    | Some _, None | None, Some _ ->
+      `Error (true, "--file-a and --file-b must be given together")
+    | None, None -> (
+      if cells < 1 then `Error (true, "need at least one cell")
+      else if (match steps with Some s -> s < 1 | None -> false) then
+        `Error (true, "need at least one step")
+      else if cadence < 1 then `Error (true, "cadence must be >= 1")
+      else if perturb_at < 1 then `Error (true, "perturb-at must be >= 1")
+      else
+        match perturb_rng with
+        | Some n ->
+          if n < 1 then `Error (true, "perturb-rng must be >= 1")
+          else begin
+            let steps = Option.value steps ~default:40 in
+            let spec = bisect_static_spec ~steps in
+            let a =
+              bisect_manual_run ~spec ~seed ~steps ~cadence ~perturb:None
+            in
+            let b =
+              bisect_manual_run ~spec
+                ~seed:(Option.value seed_b ~default:seed)
+                ~steps ~cadence
+                ~perturb:(Some (n, perturb_at))
+            in
+            Printf.printf
+              "mis-seeding demo: 1 msg cell x %d static steps, %d draws \
+               stolen after step %d\n"
+              steps n perturb_at;
+            report (Audit.Recorder.frames a) (Audit.Recorder.frames b)
+          end
+        | None -> (
+          match resolve_spec ~engine ~scenario ~steps with
+          | Error msg -> `Error (false, msg)
+          | Ok spec ->
+            let a =
+              bisect_cells_run ~engine ~spec ~seed ~cells ~cadence
+                ~jobs:jobs_a
+            in
+            let b =
+              bisect_cells_run ~engine ~spec
+                ~seed:(Option.value seed_b ~default:seed)
+                ~cells ~cadence ~jobs:jobs_b
+            in
+            Printf.printf
+              "scenario %s on %s: 2 runs x %d cells x %d steps (cadence %d)\n"
+              spec.Scenario.Spec.name (Scenario.engine_name engine) cells
+              spec.Scenario.Spec.steps cadence;
+            report (Audit.Recorder.frames a) (Audit.Recorder.frames b)))
+  in
+  let term =
+    Term.(
+      ret
+        (const run $ engine_t $ scenario_name_t ~default:"steady" $ file_a_t
+       $ file_b_t $ jobs_a_t $ jobs_b_t $ seed_b_t $ perturb_rng_t
+       $ perturb_at_t $ cells_t $ opt_steps_t $ audit_cadence_t $ seed_t
+       $ jobs_t))
+  in
+  Cmd.v
+    (Cmd.info "bisect"
+       ~doc:
+         "Run two configurations of the same scenario (or read two \
+          recorded digest streams) and report the first step and \
+          subsystem whose state digests diverge.")
+    term
+
 (* ---------------- scenario ---------------- *)
 
 let scenario_cmd =
@@ -885,5 +1136,5 @@ let () =
        (Cmd.group info
           [
             experiments_cmd; churn_cmd; resume_cmd; scenario_cmd; byz_cmd;
-            trace_cmd; monitor_cmd; init_cmd;
+            trace_cmd; monitor_cmd; audit_cmd; bisect_cmd; init_cmd;
           ]))

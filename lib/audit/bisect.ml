@@ -1,0 +1,82 @@
+(* First-divergence search over two digest streams.
+
+   Frames are keyed by (step, labels, subsystem) and walked in that
+   order — earliest step first, cells in label order, subsystems
+   alphabetically — so the reported divergence is the earliest moment
+   the two runs' states can be told apart, localised to the subsystem
+   digest that moved.  A key present on one side only also counts as a
+   divergence (e.g. streams of different length or cadence). *)
+
+type divergence = {
+  d_step : int;
+  d_labels : (string * string) list;
+  d_subsystem : string;
+  digest_a : int64 option;  (** [None] when the frame is missing in A *)
+  digest_b : int64 option;
+  also : string list;
+      (* other subsystems diverging at the same (step, labels) *)
+}
+
+type key = int * (string * string) list * string
+
+let key_of (f : Recorder.frame) : key =
+  (f.Recorder.step, f.Recorder.f_labels, f.Recorder.subsystem)
+
+let index frames =
+  List.fold_left
+    (fun acc f -> (key_of f, f.Recorder.digest) :: acc)
+    [] frames
+  |> List.rev
+
+let first_divergence frames_a frames_b =
+  let a = index frames_a and b = index frames_b in
+  let keys =
+    List.sort_uniq compare (List.map fst a @ List.map fst b)
+  in
+  let diverges key =
+    match (List.assoc_opt key a, List.assoc_opt key b) with
+    | Some da, Some db -> da <> db
+    | None, None -> false
+    | _ -> true
+  in
+  match List.find_opt diverges keys with
+  | None -> None
+  | Some ((step, labels, subsystem) as key) ->
+    let also =
+      List.filter_map
+        (fun ((s, l, sub) as k) ->
+          if s = step && l = labels && sub <> subsystem && diverges k then
+            Some sub
+          else None)
+        keys
+      |> List.sort_uniq compare
+    in
+    Some
+      {
+        d_step = step;
+        d_labels = labels;
+        d_subsystem = subsystem;
+        digest_a = List.assoc_opt key a;
+        digest_b = List.assoc_opt key b;
+        also;
+      }
+
+let labels_text labels =
+  match labels with
+  | [] -> ""
+  | _ -> " [" ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) labels) ^ "]"
+
+let digest_text = function
+  | Some d -> Fnv.to_hex d
+  | None -> "(missing)"
+
+let describe d =
+  Printf.sprintf "first divergence at step %d%s: subsystem %s, digest %s vs %s%s"
+    d.d_step
+    (labels_text d.d_labels)
+    d.d_subsystem
+    (digest_text d.digest_a)
+    (digest_text d.digest_b)
+    (match d.also with
+    | [] -> ""
+    | more -> Printf.sprintf " (also diverged: %s)" (String.concat ", " more))

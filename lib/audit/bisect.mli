@@ -1,0 +1,28 @@
+(** First-divergence bisection over two digest streams.
+
+    Replaces "tables differ somewhere" with "step 412, subsystem rng,
+    cell 7": frames are keyed by [(step, labels, subsystem)] and walked
+    earliest step first (cells in label order, subsystems
+    alphabetically), so the reported divergence is the first moment the
+    two runs' states can be told apart, localised to the subsystem
+    digest that moved. *)
+
+type divergence = {
+  d_step : int;  (** first step whose digests differ *)
+  d_labels : (string * string) list;  (** the diverging cell's labels *)
+  d_subsystem : string;
+      (** first (alphabetically) diverging subsystem at that step *)
+  digest_a : int64 option;  (** [None] when the frame is missing in A *)
+  digest_b : int64 option;
+  also : string list;
+      (** other subsystems diverging at the same [(step, labels)] *)
+}
+
+val first_divergence :
+  Recorder.frame list -> Recorder.frame list -> divergence option
+(** [None] when the streams agree frame-for-frame.  A frame present on
+    one side only (different length or cadence) also diverges. *)
+
+val describe : divergence -> string
+(** One-line human rendering, e.g. ["first divergence at step 11
+    [cell=0 scenario=msg]: subsystem rng, digest ... vs ..."]. *)

@@ -1,0 +1,112 @@
+(* Canonical per-subsystem digests of both engines' state.
+
+   Everything is digested in an explicitly *sorted* order — cluster ids,
+   member lists, overlay edges, ledger labels, RNG stream names — so the
+   digest is a pure function of the state, never of hashtable iteration
+   or insertion order.  Every read below is a plain accessor: no random
+   stream is touched and nothing is mutated (the zero-perturbation
+   contract the monitor's probes already obey). *)
+
+module Engine = Now_core.Engine
+module Node = Now_core.Node
+module Config = Cluster.Config
+module Graph = Dsgraph.Graph
+
+let subsystems = [ "honesty"; "ledger"; "overlay"; "rng"; "table" ]
+
+(* Shared folds ---------------------------------------------------- *)
+
+let fold_members h cid members =
+  let h = Fnv.int h cid in
+  let h = List.fold_left Fnv.int h (List.sort compare members) in
+  Fnv.int h (-1)
+
+let table_of_clusters clusters =
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) clusters in
+  List.fold_left (fun h (cid, members) -> fold_members h cid members) Fnv.init
+    sorted
+
+let overlay_of_graph g =
+  let h = Fnv.int Fnv.init (Graph.version g) in
+  let h = Fnv.int h (Graph.n_vertices g) in
+  List.fold_left
+    (fun h (u, v) -> Fnv.int (Fnv.int h u) v)
+    h
+    (List.sort compare (Graph.edges g))
+
+let rng_of_cursors cursors =
+  List.fold_left
+    (fun h (name, state) -> Fnv.int64 (Fnv.string h name) state)
+    Fnv.init
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) cursors)
+
+let ledger_of ledger =
+  List.fold_left
+    (fun h (label, messages, rounds) ->
+      Fnv.int (Fnv.int (Fnv.string h label) messages) rounds)
+    Fnv.init
+    (List.sort compare (Metrics.Ledger.labels ledger))
+
+(* State-level engine ---------------------------------------------- *)
+
+let engine e =
+  let tbl = Engine.table e in
+  let table =
+    table_of_clusters
+      (List.map
+         (fun cid -> (cid, Now_core.Cluster_table.members tbl cid))
+         (Now_core.Cluster_table.cluster_ids tbl))
+  in
+  let roster = Engine.roster e in
+  let honesty =
+    let h = ref Fnv.init in
+    for id = 0 to Node.Roster.total_allocated roster - 1 do
+      let mark =
+        match Node.Roster.honesty roster id with
+        | Node.Honest -> 0
+        | Node.Byzantine -> 1
+      in
+      let present = if Node.Roster.is_present roster id then 2 else 0 in
+      h := Fnv.int !h (mark lor present)
+    done;
+    !h
+  in
+  let overlay = overlay_of_graph (Over.graph (Engine.overlay e)) in
+  let rng = rng_of_cursors (Engine.rng_cursors e) in
+  let ledger = ledger_of (Engine.ledger e) in
+  [
+    ("honesty", honesty);
+    ("ledger", ledger);
+    ("overlay", overlay);
+    ("rng", rng);
+    ("table", table);
+  ]
+
+(* Message-level configuration ------------------------------------- *)
+
+let config c =
+  let ids = List.sort compare (Config.cluster_ids c) in
+  let table =
+    table_of_clusters (List.map (fun cid -> (cid, Config.members c cid)) ids)
+  in
+  let honesty =
+    List.fold_left
+      (fun h cid ->
+        let h = Fnv.int h cid in
+        List.fold_left
+          (fun h node ->
+            Fnv.int (Fnv.int h node) (if Config.is_byzantine c node then 1 else 0))
+          h
+          (List.sort compare (Config.members c cid)))
+      Fnv.init ids
+  in
+  let overlay = overlay_of_graph (Config.overlay c) in
+  let rng = rng_of_cursors (Config.rng_cursors c) in
+  let ledger = ledger_of (Config.ledger c) in
+  [
+    ("honesty", honesty);
+    ("ledger", ledger);
+    ("overlay", overlay);
+    ("rng", rng);
+    ("table", table);
+  ]

@@ -1,0 +1,35 @@
+(** Canonical per-subsystem state digests for both engines.
+
+    Each function reads one engine's complete observable state and folds
+    it ({!Fnv}) into five subsystem digests, always over explicitly
+    {e sorted} views (cluster ids, member lists, overlay edges, ledger
+    labels, RNG stream names) so the digest never depends on iteration
+    or insertion order:
+
+    - [table] — the cluster partition: every cluster id and its sorted
+      membership;
+    - [honesty] — the corruption marks (and, state-level, presence) of
+      every node;
+    - [overlay] — the overlay adjacency: {!Dsgraph.Graph.version}, vertex
+      count and the sorted edge list (the version detects mutate-and-undo
+      sequences a pure edge fold would miss);
+    - [rng] — the saved per-stream generator cursors
+      ({!Now_core.Engine.rng_cursors} / {!Cluster.Config.rng_cursors}),
+      the first subsystem to drift when two runs consume their streams
+      differently;
+    - [ledger] — every cost-ledger label with its message/round totals.
+
+    All reads are plain accessors: no random stream is touched, nothing
+    is mutated (the monitor's zero-perturbation contract). *)
+
+val subsystems : string list
+(** The five subsystem names, sorted — the key order of {!engine} and
+    {!config} results. *)
+
+val engine : Now_core.Engine.t -> (string * int64) list
+(** [(subsystem, digest)] for the state-level engine, in {!subsystems}
+    order. *)
+
+val config : Cluster.Config.t -> (string * int64) list
+(** [(subsystem, digest)] for the message-level configuration, in
+    {!subsystems} order. *)

@@ -1,0 +1,20 @@
+(** Digest-stream serialisation: sorted JSONL out, and back in.
+
+    One JSON object per frame, one per line, object keys in alphabetical
+    order ([digest], [labels], [step], [subsystem]), frames in
+    {!Recorder.compare_frame} order, closed by one
+    [{"format":1,"frames":N,"type":"meta"}] line — so the bytes are a
+    pure function of the recorded frame set, byte-identical across
+    [-j] values and reruns (CI-gated).  {!of_jsonl} reads the same
+    format back for file-vs-file bisection ([now_sim bisect --file-a]). *)
+
+val frames_to_jsonl : Recorder.frame list -> string
+(** Serialise an already-ordered frame list (plus the meta line). *)
+
+val jsonl_string : Recorder.t -> string
+(** [frames_to_jsonl (Recorder.frames r)] — the canonical export. *)
+
+val of_jsonl : string -> (Recorder.frame list, string) result
+(** Parse a digest stream written by {!jsonl_string}.  Meta lines and
+    blank lines are skipped; key order is not significant on input.
+    [Error] carries the offending line number and reason. *)

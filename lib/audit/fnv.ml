@@ -1,0 +1,38 @@
+(* FNV-1a, 64-bit.  Chosen for the digest stream because it is a pure
+   byte-fold: the digest of a canonical (sorted) serialisation is itself
+   canonical, with no block padding or finalisation state to reason
+   about, and collisions are irrelevant here — digests are compared for
+   equality between two runs of the *same* code, never used as keys. *)
+
+type t = int64
+
+let offset_basis = 0xcbf29ce484222325L
+let prime = 0x100000001b3L
+
+let init = offset_basis
+
+let byte h b = Int64.mul (Int64.logxor h (Int64.of_int (b land 0xff))) prime
+
+let int64 h v =
+  let h = ref h in
+  for shift = 0 to 7 do
+    h := byte !h (Int64.to_int (Int64.shift_right_logical v (8 * shift)))
+  done;
+  !h
+
+let int h v = int64 h (Int64.of_int v)
+
+let string h s =
+  let h = ref h in
+  String.iter (fun c -> h := byte !h (Char.code c)) s;
+  (* A terminator so ["ab";"c"] and ["a";"bc"] fold differently. *)
+  byte !h 0xff
+
+let to_hex h = Printf.sprintf "%016Lx" h
+
+let of_hex s =
+  if String.length s <> 16 then None
+  else
+    match Int64.of_string_opt ("0x" ^ s) with
+    | Some v -> Some v
+    | None -> None

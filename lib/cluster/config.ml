@@ -46,6 +46,7 @@ let make ~rng ?ledger ~byzantine ~clusters ~overlay () =
   }
 
 let rng t = t.rng
+let rng_cursors t = [ ("config", Prng.Rng.save t.rng) ]
 let ledger t = t.ledger
 let overlay t = t.overlay
 

@@ -41,6 +41,11 @@ val build_uniform :
 val rng : t -> Prng.Rng.t
 (** The configuration's root random stream (all primitives draw from it). *)
 
+val rng_cursors : t -> (string * int64) list
+(** The configuration's generator cursors ([("config", ...)]) as saved
+    states ({!Prng.Rng.save}) — the audit layer's [rng] subsystem probe.
+    Read-only: taking a cursor never advances the stream. *)
+
 val ledger : t -> Metrics.Ledger.t
 (** The shared message/round cost ledger. *)
 

@@ -104,6 +104,9 @@ let overlay t = t.over
 let init_report t = t.init_rep
 let time_step t = t.time
 
+let rng_cursors t =
+  [ ("engine", Rng.save t.rng); ("over", Over.rng_state t.over) ]
+
 let n_clusters t = Cluster_table.n_clusters t.tbl
 let n_nodes t = Node.Roster.count t.roster
 

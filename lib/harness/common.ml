@@ -9,12 +9,41 @@ type result = {
 let make_result ~id ~title ~table ?(notes = []) ~ok () =
   { id; title; table; notes; ok }
 
+(* Flight-recorder dump: when a paper-shape assertion fails under an
+   active trace collector, the calling task's ring of most recent events
+   goes to stderr, so a failing run carries its own causal window without
+   re-running under full tracing. *)
+let dump_ring ~id () =
+  match Trace.recent () with
+  | [] -> ()
+  | events ->
+    let attrs_text attrs =
+      String.concat ""
+        (List.map (fun (k, v) -> Printf.sprintf " %s=%d" k v) attrs)
+    in
+    Printf.eprintf "---- %s: flight recorder (last %d trace events) ----\n" id
+      (List.length events);
+    List.iter
+      (fun (ev : Trace.event) ->
+        match ev with
+        | Trace.Open { name; layer; time; attrs } ->
+          Printf.eprintf "  open  t=%d %s:%s%s\n" time
+            (Trace.layer_name layer) name (attrs_text attrs)
+        | Trace.Close { messages; rounds } ->
+          Printf.eprintf "  close messages=%d rounds=%d\n" messages rounds
+        | Trace.Point { name; layer; time; attrs } ->
+          Printf.eprintf "  point t=%d %s:%s%s\n" time
+            (Trace.layer_name layer) name (attrs_text attrs))
+      events;
+    flush stderr
+
 let print_result r =
   Printf.printf "---- %s: %s ----\n" r.id r.title;
   Metrics.Table.print r.table;
   List.iter (fun n -> Printf.printf "  note: %s\n" n) r.notes;
   Printf.printf "  verdict: %s\n\n" (if r.ok then "OK (paper shape holds)" else "MISMATCH");
-  flush stdout
+  flush stdout;
+  if not r.ok then dump_ring ~id:r.id ()
 
 type mode = Quick | Full
 

@@ -14,6 +14,10 @@ val make_result :
   ok:bool -> unit -> result
 
 val print_result : result -> unit
+(** Print the table, notes and verdict.  On a MISMATCH verdict with an
+    active trace collector, additionally dump the calling task's
+    flight-recorder ring ({!Trace.recent}) to stderr — the failing
+    experiment's own causal window. *)
 
 (** Mode scaling: [quick] is used by tests and the default bench run;
     [full] by the EXPERIMENTS.md regeneration. *)

@@ -342,6 +342,9 @@ th, td { text-align: left; padding: 3px 10px 3px 0;
   border-bottom: 1px solid var(--grid); }
 th { color: var(--ink-2); font-weight: 600; }
 .viol-table td.crit { color: var(--critical); font-weight: 600; }
+.viol-table details.blame { margin-top: 0; }
+.viol-table details.blame ul { margin: 4px 0 0; padding-left: 16px;
+  font-size: 11px; color: var(--ink-2); font-variant-numeric: tabular-nums; }
 .ok-line { color: var(--good); }
 |css}
 
@@ -393,18 +396,28 @@ let render ?(title = "nowlib invariant monitor") store =
       "<table class=\"viol-table\">\n<tr><th scope=\"col\"></th><th \
        scope=\"col\">time</th><th scope=\"col\">invariant</th><th \
        scope=\"col\">labels</th><th scope=\"col\">observed</th><th \
-       scope=\"col\">bound</th><th scope=\"col\">detail</th></tr>\n";
+       scope=\"col\">bound</th><th scope=\"col\">detail</th><th \
+       scope=\"col\">blame</th></tr>\n";
     List.iter
       (fun (v : Store.violation) ->
         bpf
           "<tr><td class=\"crit\">&#10007; breach</td><td>%d</td><td>%s</td>\
-           <td>%s</td><td>%s</td><td>%s</td><td>%s</td></tr>\n"
+           <td>%s</td><td>%s</td><td>%s</td><td>%s</td>"
           v.v_time
           (html_escape v.invariant)
           (html_escape (labels_text v.v_labels))
           (html_escape (full v.observed))
           (html_escape (full v.bound))
-          (html_escape v.detail))
+          (html_escape v.detail);
+        (* the blame pane: the causal window behind a disclosure, so the
+           table stays scannable while every breach carries its history *)
+        bpf "<td><details class=\"blame\"><summary>%d event%s</summary><ul>\n"
+          (List.length v.blame)
+          (if List.length v.blame = 1 then "" else "s");
+        List.iter
+          (fun entry -> bpf "<li>%s</li>\n" (html_escape entry))
+          v.blame;
+        bpf "</ul></details></td></tr>\n")
       violations;
     bpf "</table>\n"
   end;

@@ -46,7 +46,13 @@ let to_jsonl buf store =
     (Store.samples store);
   List.iter
     (fun (v : Store.violation) ->
-      Buffer.add_string buf "{\"bound\":";
+      Buffer.add_string buf "{\"blame\":[";
+      List.iteri
+        (fun i entry ->
+          if i > 0 then Buffer.add_char buf ',';
+          add_json_string buf entry)
+        v.blame;
+      Buffer.add_string buf "],\"bound\":";
       Buffer.add_string buf (Store.float_repr v.bound);
       Buffer.add_string buf ",\"detail\":";
       add_json_string buf v.detail;
@@ -79,15 +85,49 @@ let csv_escape s =
     Buffer.contents buf
   end
 
+(* Labels collapse into one CSV field as [k=v;k=v]; the structural
+   characters ([;], [=]) and the escape itself are backslash-escaped
+   inside keys and values so a hostile label name round-trips instead of
+   forging extra pairs.  Ordinary identifier labels are unchanged. *)
+let label_escape s =
+  if not (String.exists (fun c -> c = ';' || c = '=' || c = '\\') s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        if c = ';' || c = '=' || c = '\\' then Buffer.add_char buf '\\';
+        Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
 let labels_field labels =
-  String.concat ";" (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+  String.concat ";"
+    (List.map (fun (k, v) -> label_escape k ^ "=" ^ label_escape v) labels)
+
+(* Blame entries collapse the same way, joined by [|]. *)
+let blame_field blame =
+  String.concat "|"
+    (List.map
+       (fun entry ->
+         if not (String.exists (fun c -> c = '|' || c = '\\') entry) then entry
+         else begin
+           let buf = Buffer.create (String.length entry + 2) in
+           String.iter
+             (fun c ->
+               if c = '|' || c = '\\' then Buffer.add_char buf '\\';
+               Buffer.add_char buf c)
+             entry;
+           Buffer.contents buf
+         end)
+       blame)
 
 let to_csv buf store =
-  Buffer.add_string buf "type,series,labels,time,value,bound,detail\n";
+  Buffer.add_string buf "type,series,labels,time,value,bound,detail,blame\n";
   List.iter
     (fun (s : Store.sample) ->
       Buffer.add_string buf
-        (Printf.sprintf "%s,%s,%s,%d,%s,,\n" (Store.kind_name s.kind)
+        (Printf.sprintf "%s,%s,%s,%d,%s,,,\n" (Store.kind_name s.kind)
            (csv_escape s.series)
            (csv_escape (labels_field s.labels))
            s.time
@@ -96,13 +136,14 @@ let to_csv buf store =
   List.iter
     (fun (v : Store.violation) ->
       Buffer.add_string buf
-        (Printf.sprintf "violation,%s,%s,%d,%s,%s,%s\n"
+        (Printf.sprintf "violation,%s,%s,%d,%s,%s,%s,%s\n"
            (csv_escape v.invariant)
            (csv_escape (labels_field v.v_labels))
            v.v_time
            (Store.float_repr v.observed)
            (Store.float_repr v.bound)
-           (csv_escape v.detail)))
+           (csv_escape v.detail)
+           (csv_escape (blame_field v.blame))))
     (Store.violations store)
 
 let jsonl_string store =

@@ -10,17 +10,20 @@ val to_jsonl : Buffer.t -> Store.t -> unit
 (** One JSON object per line: every sample
     ([{"labels":…,"series":…,"time":…,"type":…,"value":…}] with [type]
     one of [gauge]/[counter]/[histogram]), then every violation
-    ([{"bound":…,"detail":…,"invariant":…,"labels":…,"observed":…,
-    "time":…,"type":"violation"}]), then a trailing
+    ([{"blame":[…],"bound":…,"detail":…,"invariant":…,"labels":…,
+    "observed":…,"time":…,"type":"violation"}] — [blame] is the causal
+    window from {!Blame}), then a trailing
     [{"samples":…,"type":"meta","violations":…}] summary line.  Keys are
     emitted alphabetically. *)
 
 val to_csv : Buffer.t -> Store.t -> unit
 (** Flat CSV with header
-    [type,series,labels,time,value,bound,detail]: samples first (empty
-    [bound]/[detail]), then violations (series column holds the invariant,
-    value column the observed value).  Labels are joined as
-    [k=v;k=v]; fields are quoted per RFC 4180 when needed. *)
+    [type,series,labels,time,value,bound,detail,blame]: samples first
+    (empty [bound]/[detail]/[blame]), then violations (series column
+    holds the invariant, value column the observed value, blame the
+    [|]-joined causal window).  Labels are joined as [k=v;k=v] with
+    [;]/[=]/[\] backslash-escaped inside keys and values; fields are
+    quoted per RFC 4180 when needed. *)
 
 val jsonl_string : Store.t -> string
 (** {!to_jsonl} into a fresh string. *)

@@ -1,4 +1,5 @@
 module Store = Store
+module Blame = Blame
 module Probe = Probe
 module Export = Export
 module Dashboard = Dashboard

@@ -19,6 +19,10 @@ module Store = Store
 (** Sample/violation storage with a canonical serialisation order;
     see {!Store}. *)
 
+module Blame = Blame
+(** Causal-window attribution for violations from the trace ring;
+    see {!Blame}. *)
+
 module Probe = Probe
 (** The probe registry sampling both engines; see {!Probe}. *)
 

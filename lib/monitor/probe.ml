@@ -51,7 +51,7 @@ let sample_honest store ~labels ~time stats =
         if frac < !worst then worst := frac;
         if 3 * honest <= 2 * size then
           Store.record_violation store ~invariant:"cluster.honest_frac" ~labels
-            ~time ~observed:frac ~bound:honest_bound
+            ~cluster:cid ~time ~observed:frac ~bound:honest_bound
             ~detail:(Printf.sprintf "cluster %d: %d/%d honest" cid honest size)
       end)
     stats;
@@ -124,12 +124,14 @@ let sample_engine store ?(labels = []) ?(spectral_iterations = 200) ~time
   List.iter
     (fun (cid, size, _) ->
       if size > size_max then
-        Store.record_violation store ~invariant:"cluster.size" ~labels ~time
-          ~observed:(float_of_int size) ~bound:(float_of_int size_max)
+        Store.record_violation store ~invariant:"cluster.size" ~labels
+          ~cluster:cid ~time ~observed:(float_of_int size)
+          ~bound:(float_of_int size_max)
           ~detail:(Printf.sprintf "cluster %d size %d > max %d" cid size size_max)
       else if size < size_min && n_clusters > 1 then
-        Store.record_violation store ~invariant:"cluster.size" ~labels ~time
-          ~observed:(float_of_int size) ~bound:(float_of_int size_min)
+        Store.record_violation store ~invariant:"cluster.size" ~labels
+          ~cluster:cid ~time ~observed:(float_of_int size)
+          ~bound:(float_of_int size_min)
           ~detail:(Printf.sprintf "cluster %d size %d < min %d" cid size size_min))
     stats;
   let health = Now_core.Engine.overlay_health ~spectral_iterations engine in

@@ -22,6 +22,7 @@ type violation = {
   observed : float;
   bound : float;
   detail : string;
+  blame : string list;
 }
 
 type t = {
@@ -73,7 +74,10 @@ let compare_violation a b =
         if c <> 0 then c
         else
           let c = compare a.bound b.bound in
-          if c <> 0 then c else String.compare a.detail b.detail
+          if c <> 0 then c
+          else
+            let c = String.compare a.detail b.detail in
+            if c <> 0 then c else compare a.blame b.blame
 
 let locked t f =
   Mutex.lock t.mutex;
@@ -85,10 +89,17 @@ let add t kind ~series ?(labels = []) ~time value =
     locked t (fun () -> t.recorded <- s :: t.recorded)
   end
 
-let record_violation ?(labels = []) t ~invariant ~time ~observed ~bound ~detail =
+let record_violation ?(labels = []) ?cluster ?blame t ~invariant ~time ~observed
+    ~bound ~detail =
+  (* The causal window is read before taking the lock: Trace.recent is
+     task-local, so the blame content belongs to the recording task and
+     is independent of worker count. *)
+  let blame =
+    match blame with Some b -> b | None -> Blame.attribute ?cluster ()
+  in
   let v =
     { invariant; v_labels = sort_labels labels; v_time = time; observed; bound;
-      detail }
+      detail; blame }
   in
   locked t (fun () -> t.breached <- v :: t.breached)
 

@@ -34,6 +34,9 @@ type violation = {
   observed : float;  (** the offending value *)
   bound : float;  (** the paper bound it crossed *)
   detail : string;  (** human-readable context, e.g. ["cluster 3"] *)
+  blame : string list;
+      (** the causal window: recent deviations/churn ops touching the
+          violating cluster (see {!Blame}); never empty *)
 }
 
 type t
@@ -57,9 +60,14 @@ val add :
     monitored quantity is finite when defined). *)
 
 val record_violation :
-  ?labels:(string * string) list -> t -> invariant:string -> time:int ->
-  observed:float -> bound:float -> detail:string -> unit
-(** Record an explicit bound-breach event. *)
+  ?labels:(string * string) list -> ?cluster:int -> ?blame:string list -> t ->
+  invariant:string -> time:int -> observed:float -> bound:float ->
+  detail:string -> unit
+(** Record an explicit bound-breach event.  Unless [blame] is supplied,
+    the causal window is captured here via {!Blame.attribute} from the
+    calling task's trace ring, filtered to [cluster] when the breach is
+    cluster-local — a read-only, task-deterministic lookup, so recording
+    stays zero-perturbation and byte-identical for any [-j]. *)
 
 val samples : t -> sample list
 (** Every recorded sample, sorted by

@@ -300,7 +300,9 @@ let step t ~time =
   | Some k when k > 0 && time mod k = 0 -> ignore (exchange t)
   | _ -> ());
   scan t;
-  t.steps <- t.steps + 1
+  t.steps <- t.steps + 1;
+  (* Post-step digest frame; read-only, see State_driver.step. *)
+  Audit.maybe_record_config ~labels:t.labels ~step:time t.cfg
 
 let sample t ~time =
   Monitor.maybe_sample_config ~labels:t.labels

@@ -82,7 +82,6 @@ let leave t =
   r
 
 let step t ~time =
-  ignore time;
   (match (t.spec.churn, t.adversary) with
   | Spec.Static, _ -> ()
   | Spec.Paired, _ ->
@@ -92,7 +91,10 @@ let step t ~time =
   | Spec.Strategy _, None -> assert false);
   t.steps <- t.steps + 1;
   let f = Engine.min_honest_fraction t.engine in
-  if f < t.min_honest then t.min_honest <- f
+  if f < t.min_honest then t.min_honest <- f;
+  (* Post-step digest frame: a read-only fold of the engine state, so an
+     installed recorder cannot change the trajectory. *)
+  Audit.maybe_record_engine ~labels:t.labels ~step:time t.engine
 
 let sample t ~time =
   Monitor.maybe_sample_engine ~labels:t.labels ~time t.engine

@@ -28,11 +28,26 @@ type buf = {
   mutable len : int;
   mutable dropped : int;
   mutable cur_time : int;  (* inherited by events that carry no ?time *)
+  (* Rotating window over the most recent pushes (the flight-recorder
+     ring): written on every push, including events past [cap_limit], so
+     the tail survives even when the main buffer saturates. *)
+  ring : event array;
+  mutable ring_n : int;  (* total events ever pushed to this buffer *)
 }
 
 let dummy_event = Close { messages = 0; rounds = 0 }
 
-let new_buf ~cur_time () = { evs = [||]; len = 0; dropped = 0; cur_time }
+let ring_capacity = 256
+
+let new_buf ~cur_time () =
+  {
+    evs = [||];
+    len = 0;
+    dropped = 0;
+    cur_time;
+    ring = Array.make ring_capacity dummy_event;
+    ring_n = 0;
+  }
 
 (* Collector switch and configuration.  [on] is the only thing read on the
    fast path; [capacity]/[detail] are written once by [start], before any
@@ -53,6 +68,8 @@ let active () = Atomic.get on
 let net_detail () = Atomic.get on && !detail
 
 let push b ev =
+  b.ring.(b.ring_n mod ring_capacity) <- ev;
+  b.ring_n <- b.ring_n + 1;
   if b.len >= !cap_limit then b.dropped <- b.dropped + 1
   else begin
     if b.len = Array.length b.evs then begin
@@ -66,6 +83,20 @@ let push b ev =
   end
 
 let current () = match Domain.DLS.get key with Some _ as b -> b | None -> None
+
+(* The flight-recorder read: the last [ring_capacity] events pushed to the
+   calling task's buffer, oldest first.  Per-buffer (task-local), so a
+   reader inside an [Exec] task sees exactly its own cell's tail — the
+   contents never depend on scheduling or worker count.  Read-only: safe
+   under the zero-perturbation contract. *)
+let recent () =
+  if not (Atomic.get on) then []
+  else
+    match current () with
+    | None -> []
+    | Some b ->
+      let n = min b.ring_n ring_capacity in
+      List.init n (fun i -> b.ring.((b.ring_n - n + i) mod ring_capacity))
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                            *)

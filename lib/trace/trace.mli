@@ -64,6 +64,20 @@ val net_detail : unit -> bool
 (** Whether per-message kernel points were requested ([false] when no
     collector is active). *)
 
+val ring_capacity : int
+(** Size of the per-buffer flight-recorder ring ({!recent}). *)
+
+val recent : unit -> event list
+(** The last {!ring_capacity} events recorded by the calling task's
+    buffer, oldest first ([[]] when no collector is active).  The ring is
+    written on every push — including events dropped past the buffer
+    capacity — so the tail is always the true most-recent window.  Because
+    buffers are task-local, a reader running inside an {!Exec} task sees
+    exactly its own cell's recent events, never another worker's: the
+    result is a pure function of the task's seed.  Read-only (no mutation,
+    no RNG), so callers such as the monitor's blame attribution keep the
+    zero-perturbation contract. *)
+
 (* ------------------------------------------------------------------ *)
 (* Emission (instrumentation sites)                                     *)
 (* ------------------------------------------------------------------ *)

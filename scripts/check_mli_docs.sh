@@ -1,6 +1,7 @@
 #!/bin/sh
-# Doc-coverage lint for the public interfaces of lib/adversary,
-# lib/cluster and lib/simkernel: every .mli must open with a module-level
+# Doc-coverage lint for the public interfaces of lib/adversary, lib/apps,
+# lib/audit, lib/cluster, lib/monitor, lib/scenario and lib/simkernel:
+# every .mli must open with a module-level
 # (** ... *) header, and every top-level `val`/`type`/`exception` item
 # must carry an odoc comment — either ending within the three lines above
 # the item (doc-above style) or following the item before the next item
@@ -50,7 +51,7 @@ check_file() {
     esac
 }
 
-for f in lib/adversary/*.mli lib/cluster/*.mli lib/monitor/*.mli lib/scenario/*.mli lib/simkernel/*.mli; do
+for f in lib/adversary/*.mli lib/apps/*.mli lib/audit/*.mli lib/cluster/*.mli lib/monitor/*.mli lib/scenario/*.mli lib/simkernel/*.mli; do
     check_file "$f"
 done
 

@@ -6,6 +6,7 @@ let () =
       ("metrics", Test_metrics.suite);
       ("trace", Test_trace.suite);
       ("monitor", Test_monitor.suite);
+      ("audit", Test_audit.suite);
       ("graph", Test_graph.suite);
       ("simkernel", Test_simkernel.suite);
       ("agreement", Test_agreement.suite);

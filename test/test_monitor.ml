@@ -185,6 +185,180 @@ let test_jsonl_shape () =
   let meta = List.nth lines (List.length lines - 1) in
   checkb "meta line last" true (contains meta "\"type\":\"meta\"")
 
+(* Satellite hardening: a hostile series/label/detail name (commas,
+   quotes, semicolons, equals signs, newlines) must survive a CSV
+   round-trip — RFC 4180 quoting at the field level, backslash escaping
+   inside the packed labels field. *)
+(* Parse a whole CSV document into rows: quotes may enclose commas and
+   record separators, doubled quotes unescape — RFC 4180. *)
+let csv_parse doc =
+  let rows = ref [] and fields = ref [] and buf = Buffer.create 32 in
+  let n = String.length doc in
+  let flush_field () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_field ();
+    rows := List.rev !fields :: !rows;
+    fields := []
+  in
+  let rec field i =
+    if i >= n then flush_row_at_end ()
+    else if doc.[i] = '"' then quoted (i + 1)
+    else plain i
+  and plain i =
+    if i >= n then flush_row_at_end ()
+    else
+      match doc.[i] with
+      | ',' ->
+        flush_field ();
+        field (i + 1)
+      | '\n' ->
+        flush_row ();
+        if i + 1 < n then field (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then failwith "unterminated quote"
+    else if doc.[i] = '"' then
+      if i + 1 < n && doc.[i + 1] = '"' then begin
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      end
+      else plain (i + 1)
+    else begin
+      Buffer.add_char buf doc.[i];
+      quoted (i + 1)
+    end
+  and flush_row_at_end () =
+    if Buffer.length buf > 0 || !fields <> [] then flush_row ()
+  in
+  field 0;
+  List.rev !rows
+
+(* Unpack a [k=v;k=v] labels field with backslash escapes. *)
+let parse_labels_field s =
+  let pairs = ref [] and key = Buffer.create 16 and value = Buffer.create 16 in
+  let in_key = ref true in
+  let flush () =
+    if Buffer.length key > 0 || Buffer.length value > 0 then
+      pairs := (Buffer.contents key, Buffer.contents value) :: !pairs;
+    Buffer.clear key;
+    Buffer.clear value;
+    in_key := true
+  in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = '\\' && !i + 1 < n then begin
+      Buffer.add_char (if !in_key then key else value) s.[!i + 1];
+      i := !i + 2
+    end
+    else begin
+      (if c = ';' then flush ()
+       else if c = '=' && !in_key then in_key := false
+       else Buffer.add_char (if !in_key then key else value) c);
+      incr i
+    end
+  done;
+  if Buffer.length key > 0 || Buffer.length value > 0 then flush ();
+  List.rev !pairs
+
+(* Unpack a [e|e] blame field with backslash escapes. *)
+let parse_blame_field s =
+  let entries = ref [] and buf = Buffer.create 16 in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if c = '\\' && !i + 1 < n then begin
+      Buffer.add_char buf s.[!i + 1];
+      i := !i + 2
+    end
+    else begin
+      (if c = '|' then begin
+         entries := Buffer.contents buf :: !entries;
+         Buffer.clear buf
+       end
+       else Buffer.add_char buf c);
+      incr i
+    end
+  done;
+  entries := Buffer.contents buf :: !entries;
+  List.rev !entries
+
+let test_csv_round_trips_hostile_names () =
+  let store = Store.create () in
+  let labels = [ ("cell;id", "a=b,c\\d"); ("plain", "v\"q") ] in
+  Store.add store Store.Gauge ~series:"evil,\"series\"\nname" ~labels ~time:3
+    1.5;
+  Store.record_violation store ~labels ~blame:[ "ev|ent, one"; "ev\\two" ]
+    ~invariant:"inv,ariant" ~time:4 ~observed:0.25 ~bound:0.5
+    ~detail:"note with, comma and \"quotes\"";
+  let csv = Monitor.Export.csv_string store in
+  match csv_parse csv with
+  | [ header; sample; violation ] ->
+    checki "header width" 8 (List.length header);
+    checks "series survives" "evil,\"series\"\nname" (List.nth sample 1);
+    checkb "labels survive" true
+      (parse_labels_field (List.nth sample 2) = labels);
+    checks "invariant survives" "inv,ariant" (List.nth violation 1);
+    checks "detail survives" "note with, comma and \"quotes\""
+      (List.nth violation 6);
+    checkb "blame survives" true
+      (parse_blame_field (List.nth violation 7)
+      = [ "ev|ent, one"; "ev\\two" ])
+  | lines ->
+    Alcotest.failf "expected header + sample + violation, got %d lines"
+      (List.length lines)
+
+let test_violations_carry_blame () =
+  (* Without a trace collector the window is the standing fallback —
+     still non-empty. *)
+  let store = Store.create () in
+  Monitor.Probe.sample_config store ~time:0 (msg_config ~seed:75 ~byz_per_cluster:5);
+  checkb "violations recorded" true (Store.n_violations store > 0);
+  List.iter
+    (fun (v : Store.violation) ->
+      checkb "blame never empty" true (v.Store.blame <> []))
+    (Store.violations store);
+  (* With a collector, deviations touching the violating cluster land in
+     the window; events for other clusters are filtered out. *)
+  let events =
+    [
+      Trace.Point { name = "byz.equivocate"; layer = Trace.Msg; time = 2;
+                    attrs = [ ("cluster", 1) ] };
+      Trace.Point { name = "byz.equivocate"; layer = Trace.Msg; time = 3;
+                    attrs = [ ("cluster", 9) ] };
+      Trace.Open { name = "exchange"; layer = Trace.Msg; time = 4;
+                   attrs = [ ("cluster", 1) ] };
+      Trace.Close { messages = 0; rounds = 0 };
+      Trace.Point { name = "net.send"; layer = Trace.Net; time = 5; attrs = [] };
+    ]
+  in
+  let blame = Monitor.Blame.of_events ~cluster:1 events in
+  checkb "deviation attributed" true
+    (blame = [ "t=2 msg:byz.equivocate cluster=1"; "t=4 msg:exchange cluster=1" ]);
+  let other = Monitor.Blame.of_events ~cluster:7 events in
+  checkb "unrelated cluster gets the standing entry" true
+    (List.length other = 1
+    && String.length (List.hd other) > 0
+    && String.sub (List.hd other) 0 9 = "standing:")
+
+let test_blame_window_is_bounded () =
+  let events =
+    List.init 40 (fun i ->
+        Trace.Point { name = "byz.flood"; layer = Trace.Msg; time = i;
+                      attrs = [ ("cluster", 0) ] })
+  in
+  let blame = Monitor.Blame.of_events ~cluster:0 ~max_entries:5 events in
+  checki "window capped" 5 (List.length blame);
+  checks "keeps the most recent entries" "t=39 msg:byz.flood cluster=0"
+    (List.nth blame 4)
+
 let test_dashboard_shape () =
   let store = Store.create () in
   Monitor.Probe.sample_config store ~time:0 (msg_config ~seed:74 ~byz_per_cluster:5);
@@ -195,7 +369,54 @@ let test_dashboard_shape () =
   checkb "no external stylesheets" true (not (contains html "link rel"));
   checkb "violations surfaced" true (contains html "cluster.honest_frac");
   let clean = Monitor.Dashboard.render (Store.create ()) in
-  checkb "clean run says no breach" true (contains clean "no paper bound")
+  checkb "clean run says no breach" true (contains clean "no paper bound");
+  checkb "breaches carry a blame pane" true
+    (contains html "<details class=\"blame\">")
+
+(* Degenerate stores must still render finite, self-contained documents:
+   no samples at all, violations with zero backing samples, and
+   single-sample series (tmax = tmin and vhi = vlo — both division-by-
+   zero hazards in the band scaling). *)
+let test_dashboard_edge_cases () =
+  let finite html =
+    checkb "self-contained" true (not (contains html "<script"));
+    checkb "no nan coordinates" true (not (contains html "nan"));
+    checkb "no inf coordinates" true (not (contains html "inf"))
+  in
+  (* zero-sample series: a violation recorded with no samples behind it *)
+  let empty = Store.create () in
+  Store.record_violation empty ~blame:[ "standing: test" ]
+    ~invariant:"cluster.honest_frac" ~time:0 ~observed:0.5 ~bound:0.666
+    ~detail:"no samples";
+  let html = Monitor.Dashboard.render empty in
+  finite html;
+  checkb "violation shown without a series" true
+    (contains html "cluster.honest_frac");
+  (* single-sample series: one gauge point, constant value *)
+  let single = Store.create () in
+  Store.add single Store.Gauge ~series:"cluster.count" ~time:7 3.0;
+  let html = Monitor.Dashboard.render single in
+  finite html;
+  checkb "single point drawn as a dot" true (contains html "<circle");
+  (* 100%-violations series: every sampled point also breaches *)
+  let all_bad = Store.create () in
+  for time = 0 to 2 do
+    Store.add all_bad Store.Gauge ~series:"cluster.honest_frac.min" ~time 0.5;
+    Store.record_violation all_bad ~blame:[ "standing: test" ]
+      ~invariant:"cluster.honest_frac" ~time ~observed:0.5 ~bound:0.666
+      ~detail:(Printf.sprintf "t%d" time)
+  done;
+  let html = Monitor.Dashboard.render all_bad in
+  finite html;
+  checkb "every breach marked" true (contains html "3 breaches");
+  (* constant series with an identical constant bound: vhi = vlo across
+     series and bound points together *)
+  let flat = Store.create () in
+  Store.add flat Store.Gauge ~series:"overlay.degree.max" ~time:0 4.0;
+  Store.add flat Store.Gauge ~series:"overlay.degree.max" ~time:1 4.0;
+  Store.add flat Store.Gauge ~series:"overlay.degree.bound" ~time:0 4.0;
+  Store.add flat Store.Gauge ~series:"overlay.degree.bound" ~time:1 4.0;
+  finite (Monitor.Dashboard.render flat)
 
 (* --- trace ingestion --- *)
 
@@ -296,7 +517,14 @@ let suite =
     Alcotest.test_case "exports identical across -j" `Quick
       test_exports_identical_across_jobs;
     Alcotest.test_case "jsonl shape and escaping" `Quick test_jsonl_shape;
+    Alcotest.test_case "csv round-trips hostile names" `Quick
+      test_csv_round_trips_hostile_names;
+    Alcotest.test_case "violations carry blame" `Quick
+      test_violations_carry_blame;
+    Alcotest.test_case "blame window is bounded" `Quick
+      test_blame_window_is_bounded;
     Alcotest.test_case "dashboard shape" `Quick test_dashboard_shape;
+    Alcotest.test_case "dashboard edge cases" `Quick test_dashboard_edge_cases;
     Alcotest.test_case "trace points fold into counters" `Quick
       test_ingest_trace_buckets_points;
     Alcotest.test_case "monitoring is zero-perturbation (E3)" `Slow
