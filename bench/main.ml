@@ -1,5 +1,5 @@
 (* Benchmark harness: regenerates every table/figure reproduction (the
-   experiment suite E1-E13, F1-F2 and ablations A1-A2 of DESIGN.md) and runs one Bechamel
+   experiment suite E1-E14, F1-F2 and ablations A1-A2 of DESIGN.md) and runs one Bechamel
    micro-benchmark per experiment, measuring the protocol operation at the
    heart of that experiment.
 
@@ -16,7 +16,7 @@
      -j N          worker domains for the Exec pool (default: available
                    cores; -j 1 reproduces the sequential run — tables are
                    byte-identical either way)
-     IDS           experiment ids (default: all of E1..E13 F1 F2 A1 A2) *)
+     IDS           experiment ids (default: all of E1..E14 F1 F2 A1 A2) *)
 
 open Bechamel
 
@@ -232,7 +232,21 @@ let micro_tests () =
       (fun cfg ->
         ignore (Cluster.Valchan.transmit cfg ~src_cluster:0 ~dst_cluster:1 ~payload:7 ()))
   in
-  [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; f1; f2; a1; a2 ]
+  (* E14: one asynchronous validated transfer under bounded jitter — the
+     discrete-event engine's hot path (heap scheduling + delay draws). *)
+  let e14 =
+    multiple_test ~name:"E14 async validated transfer (uniform jitter)"
+      ~allocate:(fun () ->
+        let cfg =
+          Cluster.Config.build_uniform ~rng:(Rng.of_int 49) ~n_clusters:2
+            ~cluster_size:15 ~byz_per_cluster:0 ~overlay_degree:1 ()
+        in
+        Asim.Session.create ~rng:(Rng.of_int 50)
+          ~delay:(Asim.Delay.Uniform { mean = 1.0 }) cfg)
+      (fun s ->
+        ignore (Asim.Session.transmit s ~src_cluster:0 ~dst_cluster:1 ~payload:7 ()))
+  in
+  [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; f1; f2; a1; a2 ]
 
 (* ------------------------------------------------------------------ *)
 (* Per-experiment primitive breakdown (trace collector)                 *)
@@ -294,6 +308,18 @@ let breakdown_ops =
         in
         ignore
           (Cluster.Valchan.transmit cfg ~src_cluster:0 ~dst_cluster:1 ~payload:7 ()) );
+    ( "E14",
+      "async valchan",
+      fun () ->
+        let cfg =
+          Cluster.Config.build_uniform ~rng:(Rng.of_int 49) ~n_clusters:2
+            ~cluster_size:15 ~byz_per_cluster:0 ~overlay_degree:1 ()
+        in
+        let s =
+          Asim.Session.create ~rng:(Rng.of_int 50)
+            ~delay:(Asim.Delay.Uniform { mean = 1.0 }) cfg
+        in
+        ignore (Asim.Session.transmit s ~src_cluster:0 ~dst_cluster:1 ~payload:7 ()) );
   ]
 
 let run_breakdown () =
@@ -485,7 +511,7 @@ let () =
      gate diffs these outputs across -j values. *)
   Printf.printf
     "NOW/OVER reproduction bench — experiments %s in %s mode\n\n%!"
-    (match ids with [] -> "E1..E13, F1, F2, A1, A2" | _ -> String.concat ", " ids)
+    (match ids with [] -> "E1..E14, F1, F2, A1, A2" | _ -> String.concat ", " ids)
     (if full then "FULL" else "QUICK");
   let timings = Hashtbl.create 32 in
   let timings_mu = Mutex.create () in

@@ -510,8 +510,17 @@ let byz_cmd =
    them ([Scenario.cell_driver]), with all randomness derived from
    --seed and [i]. *)
 
+(* Built on [Scenario.engine_of_name] rather than [Arg.enum] so an
+   unknown name gets the library's catalogue-listing error, and the
+   engine list lives in exactly one place. *)
 let engine_conv =
-  Arg.enum [ ("mixed", `Mixed); ("state", `State); ("msg", `Msg) ]
+  let parse s =
+    match Scenario.engine_of_name (String.lowercase_ascii s) with
+    | Ok e -> Ok e
+    | Error msg -> Error (`Msg msg)
+  in
+  let print fmt e = Format.pp_print_string fmt (Scenario.engine_name e) in
+  Arg.conv ~docv:"ENGINE" (parse, print)
 
 let engine_pos_t ~what =
   Arg.(
@@ -520,8 +529,9 @@ let engine_pos_t ~what =
         ~doc:
           (Printf.sprintf
              "What to %s: $(b,state) (state-level engine cells), $(b,msg) \
-              (message-level kernel cells) or $(b,mixed) (alternating; \
-              default)."
+              (message-level kernel cells), $(b,async) (discrete-event \
+              cells with per-link latency) or $(b,mixed) \
+              (state/msg alternating; default)."
              what))
 
 let scenario_name_t ~default =
@@ -1055,8 +1065,8 @@ let scenario_cmd =
       value & opt engine_conv `Mixed
       & info [ "engine" ] ~docv:"ENGINE"
           ~doc:
-            "Driver to run the cells on: $(b,state), $(b,msg) or \
-             $(b,mixed) (alternating; default).")
+            "Driver to run the cells on: $(b,state), $(b,msg), $(b,async) \
+             or $(b,mixed) (state/msg alternating; default).")
   in
   let cells_t =
     cells_t

@@ -1,0 +1,111 @@
+module Rng = Prng.Rng
+
+type 'msg event =
+  | Deliver of { src : int; dst : int; msg : 'msg }
+  | Timer of (now:float -> unit)
+
+type 'msg node = { mutable handler : now:float -> src:int -> 'msg -> unit }
+
+type 'msg t = {
+  nodes : (int, 'msg node) Hashtbl.t;
+  queue : 'msg event Event_queue.t;
+  mutable now : float;
+  delay : Delay.t;
+  rng : Rng.t;
+  mutable messages_sent : int;
+  mutable deviant_sent : int;
+  mutable delivered : int;
+  ledger : Metrics.Ledger.t;
+}
+
+let create ?ledger ~rng ~delay () =
+  let ledger = match ledger with Some l -> l | None -> Metrics.Ledger.create () in
+  {
+    nodes = Hashtbl.create 64;
+    queue = Event_queue.create ();
+    now = 0.0;
+    delay;
+    rng;
+    messages_sent = 0;
+    deviant_sent = 0;
+    delivered = 0;
+    ledger;
+  }
+
+let ledger t = t.ledger
+let now t = t.now
+let delay_model t = t.delay
+
+let add_node t ~id handler =
+  if Hashtbl.mem t.nodes id then invalid_arg "Anet.add_node: id already in use";
+  Hashtbl.add t.nodes id { handler }
+
+let remove_node t id = Hashtbl.remove t.nodes id
+let is_alive t id = Hashtbl.mem t.nodes id
+
+let nodes t =
+  Hashtbl.fold (fun id _ acc -> id :: acc) t.nodes [] |> List.sort compare
+
+(* Queue + count + trace one message; ledger charging is the caller's, so
+   [multicast] can batch its charge — same split as the synchronous
+   kernel's [send_uncharged]. *)
+let send_uncharged t ~src ~dst ~label ~deviant msg =
+  if not (is_alive t src) then invalid_arg "Anet.send: sender is not alive";
+  let d = Delay.sample t.delay t.rng ~src ~dst in
+  Event_queue.push t.queue ~time:(t.now +. d) (Deliver { src; dst; msg });
+  t.messages_sent <- t.messages_sent + 1;
+  if deviant then begin
+    t.deviant_sent <- t.deviant_sent + 1;
+    if Trace.net_detail () then
+      Trace.point
+        ~attrs:[ ("dst", dst); ("src", src) ]
+        ~time:(int_of_float t.now) Trace.Net ("net.byz." ^ label)
+  end;
+  if Trace.net_detail () then
+    Trace.point
+      ~attrs:[ ("dst", dst); ("src", src) ]
+      ~time:(int_of_float t.now) Trace.Net ("net.send." ^ label)
+
+let send t ~src ~dst ?(label = "msg") ?(deviant = false) msg =
+  send_uncharged t ~src ~dst ~label ~deviant msg;
+  Metrics.Ledger.charge t.ledger ~label ~messages:1 ~rounds:0
+
+let multicast t ~src ~dsts ?(label = "msg") msg =
+  let n = ref 0 in
+  List.iter
+    (fun dst ->
+      incr n;
+      send_uncharged t ~src ~dst ~label ~deviant:false msg)
+    dsts;
+  if !n > 0 then Metrics.Ledger.charge t.ledger ~label ~messages:!n ~rounds:0
+
+let at t ~time fn = Event_queue.push t.queue ~time (Timer fn)
+
+let run ?until t =
+  let due () =
+    match Event_queue.peek_time t.queue with
+    | None -> false
+    | Some time -> ( match until with None -> true | Some u -> time <= u)
+  in
+  while due () do
+    match Event_queue.pop t.queue with
+    | None -> assert false (* [due] just saw a head *)
+    | Some (time, event) -> (
+      (* Clamp: a past-time push (delay 0 from a handler) delivers "now";
+         the clock never goes backwards. *)
+      if time > t.now then t.now <- time;
+      match event with
+      | Timer fn -> fn ~now:t.now
+      | Deliver { src; dst; msg } -> (
+        match Hashtbl.find_opt t.nodes dst with
+        | None -> () (* destination departed: message lost *)
+        | Some node ->
+          t.delivered <- t.delivered + 1;
+          node.handler ~now:t.now ~src msg))
+  done;
+  match until with Some u when u > t.now -> t.now <- u | _ -> ()
+
+let messages_sent t = t.messages_sent
+let deviant_sent t = t.deviant_sent
+let delivered t = t.delivered
+let pending t = Event_queue.length t.queue

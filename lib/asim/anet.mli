@@ -1,0 +1,89 @@
+(** The asynchronous message kernel: point-to-point messages with seeded
+    per-link delays, delivered by a discrete-event loop.
+
+    Mirrors the synchronous {!Simkernel.Net} surface — nodes with
+    handlers, [send]/[multicast] with per-label ledger charging, deviant
+    counting and [--net-detail] trace points — but replaces the round
+    barrier with an {!Event_queue}: each send draws one delay from the
+    kernel's {!Prng.Rng} stream and schedules delivery at [now + delay];
+    {!run} pops events in [(time, seq)] order, so simultaneous deliveries
+    arrive in send order.
+
+    Determinism: the kernel is strictly sequential and every delay comes
+    from the one [rng] handed to {!create} (never [Stdlib.Random] or
+    wall-clock), so a run is a pure function of (seed, sends) — the
+    asynchronous half of the repo's byte-identical-for-any-[-j] contract.
+
+    Unlike the synchronous kernel there is no ["round"] ledger label:
+    virtual time replaces round counting (sessions report makespans
+    instead), while per-message charges stay identical. *)
+
+type 'msg t
+(** A kernel instance carrying ['msg]-typed messages. *)
+
+val create :
+  ?ledger:Metrics.Ledger.t -> rng:Prng.Rng.t -> delay:Delay.t -> unit -> 'msg t
+(** A fresh kernel at virtual time 0.  [rng] is the delay stream ({e all}
+    link-delay randomness comes from it); [delay] the per-link model;
+    [ledger] defaults to a private one. *)
+
+val add_node : 'msg t -> id:int -> (now:float -> src:int -> 'msg -> unit) -> unit
+(** Register a node; its handler runs once per delivered message, at the
+    message's delivery time.  Raises [Invalid_argument] on duplicate
+    ids. *)
+
+val remove_node : 'msg t -> int -> unit
+(** Deregister a node; messages in flight to it are lost on delivery. *)
+
+val is_alive : 'msg t -> int -> bool
+(** Whether the id is currently registered. *)
+
+val nodes : 'msg t -> int list
+(** Sorted ids of the registered nodes. *)
+
+val ledger : 'msg t -> Metrics.Ledger.t
+(** The ledger sends are charged to. *)
+
+val now : 'msg t -> float
+(** Current virtual time (the last processed event's time, clamped
+    non-decreasing). *)
+
+val delay_model : 'msg t -> Delay.t
+(** The per-link model this kernel samples. *)
+
+val send :
+  'msg t -> src:int -> dst:int -> ?label:string -> ?deviant:bool -> 'msg -> unit
+(** Send one message: draws a delay for the [(src, dst)] link, schedules
+    delivery, charges one [label]-tagged message to the ledger and counts
+    it ([deviant] additionally bumps the deviant counter and emits a
+    [net.byz.*] point under [--net-detail]).  Raises [Invalid_argument]
+    if [src] is not alive; a dead or unknown [dst] loses the message at
+    delivery time, exactly like the synchronous kernel. *)
+
+val multicast : 'msg t -> src:int -> dsts:int list -> ?label:string -> 'msg -> unit
+(** [send] to each destination in order (one delay draw per link), with
+    the ledger charged once for the whole batch. *)
+
+val at : 'msg t -> time:float -> (now:float -> unit) -> unit
+(** Schedule a timer callback at absolute virtual time [time] — the hook
+    sessions use for phase boundaries and timeout checks.  Ordered
+    against deliveries by the same [(time, seq)] rule. *)
+
+val run : ?until:float -> 'msg t -> unit
+(** Process queued events in [(time, seq)] order.  With [until], only
+    events scheduled at or before it run and the clock then advances to
+    exactly [until] (later events stay queued — a session that discards
+    the kernel discards its stragglers); without it, runs to
+    quiescence. *)
+
+val messages_sent : 'msg t -> int
+(** Total messages sent (including ones later lost). *)
+
+val deviant_sent : 'msg t -> int
+(** Messages flagged [deviant] by Byzantine senders. *)
+
+val delivered : 'msg t -> int
+(** Messages actually handed to a live destination handler. *)
+
+val pending : 'msg t -> int
+(** Events still queued (undelivered messages + unfired timers). *)

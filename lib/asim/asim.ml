@@ -1,0 +1,6 @@
+(* Re-export: [asim.ml] is this library's root module, so siblings must
+   be surfaced explicitly. *)
+module Event_queue = Event_queue
+module Delay = Delay
+module Anet = Anet
+module Session = Session

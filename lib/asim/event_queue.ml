@@ -1,0 +1,83 @@
+(* Binary min-heap on (time, seq): the cpr-style ordered queue, with an
+   explicit insertion sequence so simultaneous events pop in FIFO order —
+   the tie-breaking rule the determinism argument in DESIGN.md rests on
+   (float comparison alone would leave same-time events at the mercy of
+   heap internals). *)
+
+type 'a entry = { time : float; seq : int; payload : 'a }
+
+type 'a t = {
+  mutable heap : 'a entry array;
+  mutable size : int;
+  mutable pushed : int;
+}
+
+let create () = { heap = [||]; size = 0; pushed = 0 }
+let length t = t.size
+let is_empty t = t.size = 0
+let pushed t = t.pushed
+
+(* Strict weak order: earlier time first, then earlier insertion. *)
+let before a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.heap in
+  if t.size = cap then begin
+    let ncap = max 16 (2 * cap) in
+    (* The dummy cell is never read: [size] guards every access. *)
+    let dummy = t.heap.(0) in
+    let heap = Array.make ncap dummy in
+    Array.blit t.heap 0 heap 0 t.size;
+    t.heap <- heap
+  end
+
+let push t ~time payload =
+  if Float.is_nan time then invalid_arg "Event_queue.push: NaN time";
+  let entry = { time; seq = t.pushed; payload } in
+  t.pushed <- t.pushed + 1;
+  if Array.length t.heap = 0 then t.heap <- Array.make 16 entry else grow t;
+  (* Sift up. *)
+  let i = ref t.size in
+  t.size <- t.size + 1;
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    if before entry t.heap.(parent) then begin
+      t.heap.(!i) <- t.heap.(parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  t.heap.(!i) <- entry
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      let last = t.heap.(t.size) in
+      (* Sift down. *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        let best = ref last in
+        if l < t.size && before t.heap.(l) !best then begin
+          smallest := l;
+          best := t.heap.(l)
+        end;
+        if r < t.size && before t.heap.(r) !best then smallest := r;
+        if !smallest = !i then continue := false
+        else begin
+          t.heap.(!i) <- t.heap.(!smallest);
+          i := !smallest
+        end
+      done;
+      t.heap.(!i) <- last
+    end;
+    Some (top.time, top.payload)
+  end
+
+let peek_time t = if t.size = 0 then None else Some t.heap.(0).time

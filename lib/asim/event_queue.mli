@@ -1,0 +1,41 @@
+(** The asynchronous kernel's ordered event queue.
+
+    A binary min-heap keyed by [(time, seq)]: events pop in non-decreasing
+    scheduled time, and events scheduled for the {e same} time pop in the
+    order they were pushed (the [seq] counter is the global insertion
+    index).  That FIFO tie-break is what makes the discrete-event
+    simulation a pure function of the pushes — two runs that push the same
+    (time, payload) sequence pop the identical sequence, regardless of
+    heap-internal layout — and is qcheck-tested against a reference sort.
+
+    The queue is not thread-safe: the kernel is strictly sequential
+    (parallelism lives one level up, across scenario cells with
+    index-derived RNG streams). *)
+
+type 'a t
+(** A mutable queue of ['a] events. *)
+
+val create : unit -> 'a t
+(** A fresh empty queue; the insertion counter starts at 0. *)
+
+val push : 'a t -> time:float -> 'a -> unit
+(** Schedule an event at absolute time [time].  Raises [Invalid_argument]
+    on NaN (which has no place in a total order); past times are accepted
+    — the kernel clamps delivery to its own clock. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event — smallest [(time, seq)] pair —
+    or [None] when empty. *)
+
+val peek_time : 'a t -> float option
+(** The scheduled time of the next {!pop}, without removing it. *)
+
+val length : 'a t -> int
+(** Events currently queued. *)
+
+val is_empty : 'a t -> bool
+(** [length t = 0]. *)
+
+val pushed : 'a t -> int
+(** Total events ever pushed — the next event's [seq]; exposed so tests
+    and digests can pin the insertion index. *)

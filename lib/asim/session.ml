@@ -1,0 +1,445 @@
+module Config = Cluster.Config
+module Valchan = Cluster.Valchan
+module Randnum = Cluster.Randnum
+module Walk = Cluster.Walk
+module B = Agreement.Byz_behavior
+module Rng = Prng.Rng
+module Ledger = Metrics.Ledger
+module Graph = Dsgraph.Graph
+
+type t = {
+  cfg : Config.t;
+  delay : Delay.t;
+  rng : Rng.t;
+  patience : float;
+  mutable clock : float;
+  mutable timeouts : int;
+}
+
+let create ?(patience = 8.0) ~rng ~delay cfg =
+  if patience <= 0.0 then invalid_arg "Session.create: patience must be positive";
+  { cfg; delay; rng; patience; clock = 0.0; timeouts = 0 }
+
+let config t = t.cfg
+let delay t = t.delay
+let patience t = t.patience
+let clock t = t.clock
+let timeouts t = t.timeouts
+let rng_cursor t = Rng.save t.rng
+let timeout t = t.patience *. Delay.mean t.delay
+
+(* Session bookkeeping shared by every primitive: add the sub-session's
+   makespan to the running virtual clock, count deadline hits. *)
+let account t ~makespan ~timed_out =
+  t.clock <- t.clock +. makespan;
+  if timed_out then t.timeouts <- t.timeouts + 1
+
+let span_time t = int_of_float t.clock
+
+let deviation_point strategy ~src ~dst =
+  if Trace.active () then
+    Trace.point
+      ~attrs:[ ("dst", dst); ("src", src) ]
+      Trace.Msg
+      ("byz." ^ B.deviation strategy)
+
+(* valChan ---------------------------------------------------------- *)
+
+(* The asynchronous validated channel: every source member's copies leave
+   at virtual time 0 with per-link delays; each honest destination applies
+   the majority rule to the votes that arrived by the session deadline.
+   First arrival per sender wins (under zero delay, arrival order is send
+   order, so verdicts coincide with the synchronous session's — the
+   cross-validation test pins this).  Latency can only delay or suppress
+   votes, never add them, so skew degrades liveness (no verdict by the
+   deadline), never safety. *)
+let valchan_session t ~src_cluster ~dst_cluster ~label ~payload =
+  let cfg = t.cfg in
+  let src_members = Config.members cfg src_cluster in
+  let dst_members = Config.members cfg dst_cluster in
+  let deadline = timeout t in
+  let net = Anet.create ~ledger:(Config.ledger cfg) ~rng:t.rng ~delay:t.delay () in
+  let split_at = Valchan.split_point dst_members in
+  let arrivals : (int, (float * int * int) list ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun id ->
+      if Config.is_byzantine cfg id then
+        Anet.add_node net ~id (fun ~now:_ ~src:_ _ -> ())
+      else begin
+        let cell = ref [] in
+        Hashtbl.replace arrivals id cell;
+        Anet.add_node net ~id (fun ~now ~src msg -> cell := (now, src, msg) :: !cell)
+      end)
+    dst_members;
+  List.iter
+    (fun id ->
+      if not (Anet.is_alive net id) then
+        Anet.add_node net ~id (fun ~now:_ ~src:_ _ -> ()))
+    src_members;
+  (* Same (source member, destination member) send order as the
+     synchronous session, so Byzantine behaviour streams draw
+     identically. *)
+  List.iter
+    (fun id ->
+      match Config.byzantine cfg id with
+      | None -> Anet.multicast net ~src:id ~dsts:dst_members ~label payload
+      | Some strategy ->
+        let rng = B.rng_of strategy in
+        List.iter
+          (fun dst ->
+            match B.on_channel strategy rng ~label ~dst ~split_at ~honest:payload with
+            | B.Honest_send -> Anet.send net ~src:id ~dst ~label payload
+            | B.Forge v ->
+              deviation_point strategy ~src:id ~dst;
+              Anet.send net ~src:id ~dst ~label ~deviant:true v
+            | B.Redirect sink ->
+              deviation_point strategy ~src:id ~dst;
+              Anet.send net ~src:id ~dst:sink ~label ~deviant:true payload
+            | B.Stay_silent -> deviation_point strategy ~src:id ~dst)
+          dst_members)
+    src_members;
+  Anet.run ~until:deadline net;
+  let threshold = List.length src_members / 2 in
+  (* Per destination: verdict over the on-time inbox, plus the time the
+     majority was first reached (the deadline when it never was). *)
+  let decide id =
+    let arr = List.rev !(Hashtbl.find arrivals id) in
+    let inbox = List.map (fun (_, sender, v) -> (sender, v)) arr in
+    let verdict = Valchan.validate ~members:src_members ~inbox in
+    let voted : (int, unit) Hashtbl.t = Hashtbl.create 8 in
+    let counts : (int, int) Hashtbl.t = Hashtbl.create 8 in
+    let decided_at = ref None in
+    List.iter
+      (fun (time, sender, v) ->
+        if
+          !decided_at = None
+          && List.mem sender src_members
+          && not (Hashtbl.mem voted sender)
+        then begin
+          Hashtbl.replace voted sender ();
+          let c =
+            (match Hashtbl.find_opt counts v with Some c -> c | None -> 0) + 1
+          in
+          Hashtbl.replace counts v c;
+          if c > threshold then decided_at := Some time
+        end)
+      arr;
+    (verdict, !decided_at)
+  in
+  let decided =
+    List.filter_map
+      (fun id ->
+        if Config.is_byzantine cfg id then None else Some (id, decide id))
+      dst_members
+  in
+  let timed_out = List.exists (fun (_, (_, at)) -> at = None) decided in
+  let makespan =
+    List.fold_left
+      (fun acc (_, (_, at)) ->
+        Float.max acc (match at with Some w -> w | None -> deadline))
+      0.0 decided
+  in
+  let result = Valchan.summarise (List.map (fun (id, (v, _)) -> (id, v)) decided) in
+  account t ~makespan ~timed_out;
+  (result, makespan)
+
+let transmit t ~src_cluster ~dst_cluster ?(label = "valchan") ~payload () =
+  let ledger = Config.ledger t.cfg in
+  Trace.with_span
+    ~attrs:[ ("dst", dst_cluster); ("src", src_cluster) ]
+    ~ledger ~time:(span_time t) Trace.Msg label
+    (fun () -> valchan_session t ~src_cluster ~dst_cluster ~label ~payload)
+
+(* randNum ---------------------------------------------------------- *)
+
+type phase = Escrow | Reveal
+
+(* The asynchronous commit/reveal coin.  Escrow shares leave at time 0;
+   the reveal phase is cut by a timeout at half the session deadline (the
+   phase boundary a synchronous round barrier provides for free).  A
+   contribution counts iff a strict majority of the members received its
+   escrow by the boundary and its reveal by the deadline — the in-cluster
+   majority's view of "who participated", which late (straggling) shares
+   fail, turning skew into a detected stall instead of a silent
+   mis-sample. *)
+let randnum_session t ~cluster ~range =
+  let cfg = t.cfg in
+  let members = Config.members cfg cluster in
+  let n = List.length members in
+  let byz_members = List.filter (Config.is_byzantine cfg) members in
+  let secure = 3 * List.length byz_members < 2 * n in
+  let deadline = timeout t in
+  let boundary = 0.5 *. deadline in
+  let net = Anet.create ~ledger:(Config.ledger cfg) ~rng:t.rng ~delay:t.delay () in
+  let escrow_at : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  let reveal_at : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  (* Contributions are drawn in member order, exactly like the synchronous
+     session — same Config/behaviour stream consumption. *)
+  let contributions : (int * int) list ref = ref [] in
+  List.iter
+    (fun id ->
+      let contribution =
+        match Config.byzantine cfg id with
+        | None -> Some (Rng.int (Config.rng cfg) 1_073_741_823)
+        | Some strategy ->
+          let c = B.share strategy (B.rng_of strategy) in
+          (if Trace.active () then
+             match (strategy, c) with
+             | _, None ->
+               Trace.point ~attrs:[ ("node", id) ] Trace.Msg "byz.randnum.withhold"
+             | ( (B.Silent | B.Fixed _ | B.Equivocate _ | B.Random_noise _ | B.Bias_share _),
+                 Some _ ) ->
+               Trace.point ~attrs:[ ("node", id) ] Trace.Msg "byz.randnum.bias"
+             | (B.Drop_walk _ | B.Misroute_walk _ | B.Lie_views _), Some _ -> ());
+          c
+      in
+      (match contribution with
+      | Some c -> contributions := (id, c) :: !contributions
+      | None -> ());
+      Anet.add_node net ~id (fun ~now ~src msg ->
+          let tbl = match msg with Escrow -> escrow_at | Reveal -> reveal_at in
+          if not (Hashtbl.mem tbl (src, id)) then Hashtbl.replace tbl (src, id) now);
+      if contribution <> None then begin
+        let others = List.filter (fun m -> m <> id) members in
+        Anet.multicast net ~src:id ~dsts:others ~label:"randnum" Escrow;
+        Anet.at net ~time:boundary (fun ~now:_ ->
+            if Anet.is_alive net id then
+              Anet.multicast net ~src:id ~dsts:others ~label:"randnum" Reveal)
+      end)
+    members;
+  Anet.run ~until:deadline net;
+  (* A share is reconstructible iff a strict majority of the members holds
+     both halves on time (the contributor itself counts for its own
+     share). *)
+  let on_time tbl ~contributor ~limit =
+    1
+    + List.length
+        (List.filter
+           (fun m ->
+             m <> contributor
+             &&
+             match Hashtbl.find_opt tbl (contributor, m) with
+             | Some at -> at <= limit
+             | None -> false)
+           members)
+  in
+  let included =
+    List.filter
+      (fun (c, _) ->
+        2 * on_time escrow_at ~contributor:c ~limit:boundary > n
+        && 2 * on_time reveal_at ~contributor:c ~limit:deadline > n)
+      (List.rev !contributions)
+  in
+  let participants = List.length included in
+  let stalled = 3 * participants < 2 * n in
+  if stalled && Trace.active () then
+    Trace.point
+      ~attrs:[ ("have", participants); ("need", (2 * n / 3) + 1) ]
+      Trace.Msg "randnum.stall";
+  let makespan =
+    if stalled then deadline
+    else
+      List.fold_left
+        (fun acc (c, _) ->
+          List.fold_left
+            (fun acc m ->
+              match Hashtbl.find_opt reveal_at (c, m) with
+              | Some at when at <= deadline -> Float.max acc at
+              | _ -> acc)
+            acc members)
+        0.0 included
+  in
+  account t ~makespan ~timed_out:stalled;
+  let outcome =
+    if not secure then { Randnum.value = 0; secure; stalled; participants }
+    else begin
+      let sorted =
+        List.sort (fun (a, _) (b, _) -> compare a b) included |> List.map snd
+      in
+      { Randnum.value = Randnum.mix sorted ~range; secure; stalled; participants }
+    end
+  in
+  (outcome, makespan)
+
+let randnum t ~cluster ~range =
+  if range <= 0 then invalid_arg "Session.randnum: range must be positive";
+  let members = Config.members t.cfg cluster in
+  let n = List.length members in
+  if n = 0 then invalid_arg "Session.randnum: empty cluster";
+  let ledger = Config.ledger t.cfg in
+  Trace.with_span
+    ~attrs:[ ("cluster", cluster); ("size", n) ]
+    ~ledger ~time:(span_time t) Trace.Msg "randnum"
+    (fun () -> randnum_session t ~cluster ~range)
+
+(* randCl ----------------------------------------------------------- *)
+
+(* The asynchronous walk: the same biased CTRW as the synchronous
+   [Walk.rand_cl] (identical draw sequence from the configuration stream,
+   so fault-free endpoints match the synchronous engine exactly), but
+   every hop draw is an asynchronous randNum and every token forward an
+   asynchronous validated transfer — the walk's makespan is the sum of
+   its sub-sessions' makespans. *)
+let rand_cl_session t ?duration ?(max_restarts = 1000) ?(max_hop_retries = 2) ~start
+    () =
+  let cfg = t.cfg in
+  let overlay = Config.overlay cfg in
+  let duration =
+    match duration with Some d -> d | None -> Walk.default_duration cfg
+  in
+  let max_size = float_of_int (Config.max_cluster_size cfg) in
+  let elapsed = ref 0.0 in
+  let exception Invalid of int in
+  let rec hop current remaining hops restarts retries =
+    let d = Graph.degree overlay current in
+    let draw range =
+      let o, makespan = randnum t ~cluster:current ~range in
+      elapsed := !elapsed +. makespan;
+      o.Randnum.value
+    in
+    let finish () =
+      let p = float_of_int (Config.size cfg current) /. max_size in
+      let coin =
+        float_of_int (draw Walk.coin_range) /. float_of_int Walk.coin_range
+      in
+      if coin < p then
+        Ok { Walk.selected = current; hops; restarts; hop_retries = retries }
+      else if restarts >= max_restarts then Error `Too_many_restarts
+      else hop current duration hops (restarts + 1) retries
+    in
+    if d = 0 then finish ()
+    else begin
+      let r = draw (d * Walk.coin_range) in
+      let neighbor_index = r mod d in
+      let u = float_of_int (r / d) /. float_of_int Walk.coin_range in
+      let hold =
+        -.log (1.0 -. u +. (1.0 /. float_of_int Walk.coin_range)) /. float_of_int d
+      in
+      if hold >= remaining then finish ()
+      else begin
+        let next = (Graph.sorted_neighbors overlay current).(neighbor_index) in
+        let res, makespan =
+          transmit t ~src_cluster:current ~dst_cluster:next ~label:"walk.token"
+            ~payload:hops ()
+        in
+        elapsed := !elapsed +. makespan;
+        match res.Valchan.unanimous with
+        | Some _ -> hop next (remaining -. hold) (hops + 1) restarts retries
+        | None ->
+          if retries >= max_hop_retries then raise (Invalid current)
+          else begin
+            if Trace.active () then
+              Trace.point ~attrs:[ ("hop", hops); ("to", next) ] Trace.Msg
+                "walk.retry";
+            hop current remaining hops restarts (retries + 1)
+          end
+      end
+    end
+  in
+  let result =
+    match hop start duration 0 0 0 with
+    | result -> result
+    | exception Invalid c -> Error (`Validation_failed c)
+  in
+  (result, !elapsed)
+
+let rand_cl t ?duration ?max_restarts ?max_hop_retries ~start () =
+  let ledger = Config.ledger t.cfg in
+  Trace.with_span
+    ~attrs:[ ("start", start) ]
+    ~ledger ~time:(span_time t) Trace.Msg "randcl"
+    (fun () -> rand_cl_session t ?duration ?max_restarts ?max_hop_retries ~start ())
+
+let pick_member t ~cluster =
+  let members = Config.members t.cfg cluster in
+  let o, _ = randnum t ~cluster ~range:(List.length members) in
+  List.nth members o.Randnum.value
+
+(* exchange --------------------------------------------------------- *)
+
+(* Composition announcements to the neighbours of [cluster]; replicates
+   the synchronous bulk charge ([Exchange.charge_view_update]) except for
+   the round: the asynchronous engine counts no rounds, latency is
+   reported through makespans instead. *)
+let view_update t cluster =
+  let cfg = t.cfg in
+  let overlay = Config.overlay cfg in
+  let size = Config.size cfg cluster in
+  let messages = ref 0 in
+  Graph.iter_neighbors overlay cluster (fun nb ->
+      messages := !messages + (size * Config.size cfg nb));
+  (if Trace.active () then
+     List.iter
+       (fun node ->
+         match Config.byzantine cfg node with
+         | Some (B.Lie_views _ as s) ->
+           Trace.point
+             ~attrs:[ ("cluster", cluster); ("node", node) ]
+             Trace.Msg
+             ("byz." ^ B.deviation s)
+         | Some _ | None -> ())
+       (Config.members cfg cluster));
+  Ledger.charge (Config.ledger cfg) ~label:"exchange.view_update"
+    ~messages:!messages ~rounds:0
+
+let exchange_node_session t ?duration ~node ~home () =
+  match rand_cl t ?duration ~start:home () with
+  | Error e, makespan -> (Error e, makespan)
+  | Ok { Walk.selected; _ }, makespan ->
+    if selected = home then (Ok home, makespan)
+    else begin
+      let res, vc_makespan =
+        transmit t ~src_cluster:home ~dst_cluster:selected
+          ~label:"exchange.announce" ~payload:node ()
+      in
+      (match res.Valchan.unanimous with Some _ -> () | None -> ());
+      let replacement = pick_member t ~cluster:selected in
+      let transfer_messages =
+        Config.size t.cfg home + Config.size t.cfg selected
+      in
+      Ledger.charge (Config.ledger t.cfg) ~label:"exchange.transfer"
+        ~messages:transfer_messages ~rounds:0;
+      Config.swap_nodes t.cfg node replacement;
+      (Ok selected, makespan +. vc_makespan)
+    end
+
+let exchange_node t ?duration ~node () =
+  let home = Config.cluster_of t.cfg node in
+  let ledger = Config.ledger t.cfg in
+  Trace.with_span
+    ~attrs:[ ("home", home); ("node", node) ]
+    ~ledger ~time:(span_time t) Trace.Msg "exchange.node"
+    (fun () -> exchange_node_session t ?duration ~node ~home ())
+
+let exchange_all_session t ?duration ~cluster () =
+  let snapshot = Config.members t.cfg cluster in
+  let makespan = ref 0.0 in
+  let rec go nodes touched =
+    match nodes with
+    | [] -> Ok touched
+    | node :: rest -> (
+      match exchange_node t ?duration ~node () with
+      | Error e, span ->
+        makespan := !makespan +. span;
+        Error e
+      | Ok dest, span ->
+        makespan := !makespan +. span;
+        let touched = if dest = cluster then touched else dest :: touched in
+        go rest touched)
+  in
+  let result =
+    match go snapshot [] with
+    | Error e -> Error e
+    | Ok touched ->
+      let touched = List.sort_uniq compare touched in
+      List.iter (view_update t) (cluster :: touched);
+      Ok touched
+  in
+  (result, !makespan)
+
+let exchange_all t ?duration ~cluster () =
+  let ledger = Config.ledger t.cfg in
+  Trace.with_span
+    ~attrs:[ ("cluster", cluster) ]
+    ~ledger ~time:(span_time t) Trace.Msg "exchange"
+    (fun () -> exchange_all_session t ?duration ~cluster ())

@@ -1,0 +1,100 @@
+(** The message-level primitives, run asynchronously.
+
+    A session wraps a {!Cluster.Config} with a {!Delay} model, a delay
+    RNG stream and a patience bound, and re-runs each primitive as a real
+    discrete-event exchange on a private {!Anet} (sharing the
+    configuration's ledger, trace points and Byzantine behaviour
+    dispatch).  Each primitive returns its usual result {e plus} its
+    makespan — the virtual time the session took — and the session
+    accumulates makespans into a running {!clock}.
+
+    Timeout discipline: every sub-session has a deadline of
+    [patience * Delay.mean delay] virtual time units; randNum
+    additionally cuts its commit/reveal phase boundary at half the
+    deadline (the cut a synchronous round barrier provides for free).
+    Votes, escrows and reveals arriving late are ignored, so delay skew
+    degrades {e liveness} — rejected transfers, detected stalls, failed
+    walks — but never safety: a value no honest majority sent is no more
+    acceptable asynchronously than synchronously (E14 asserts both
+    halves, and the skew thresholds where liveness breaks).
+
+    Equivalence contract (tested): under {!Delay.Zero} every arrival
+    happens at time 0 in send order, and the sessions consume the
+    configuration and behaviour RNG streams in exactly the synchronous
+    order — so verdicts, outcomes, walk endpoints and exchange placements
+    equal the synchronous engine's, bit for bit. *)
+
+type t
+(** A session: configuration + delay model + delay stream + clock. *)
+
+val create : ?patience:float -> rng:Prng.Rng.t -> delay:Delay.t -> Cluster.Config.t -> t
+(** Wrap a configuration.  [rng] is the delay stream (drawn only for link
+    delays, never for protocol values — the configuration keeps its own
+    stream); [patience] (default 8) sets each sub-session's deadline to
+    [patience * Delay.mean delay].  Raises [Invalid_argument] on
+    non-positive patience. *)
+
+val config : t -> Cluster.Config.t
+(** The wrapped configuration. *)
+
+val delay : t -> Delay.t
+(** The per-link delay model. *)
+
+val patience : t -> float
+(** The deadline multiplier. *)
+
+val timeout : t -> float
+(** The per-sub-session deadline, [patience * Delay.mean delay]. *)
+
+val clock : t -> float
+(** Total virtual time accumulated across all sub-sessions so far. *)
+
+val timeouts : t -> int
+(** Sub-sessions that hit their deadline (an undecided destination, a
+    stalled draw) instead of completing early. *)
+
+val rng_cursor : t -> int64
+(** The delay stream's saved state — folded into the flight recorder's
+    [rng] digest so mis-seeded delay streams are bisectable. *)
+
+val transmit :
+  t -> src_cluster:int -> dst_cluster:int -> ?label:string -> payload:int ->
+  unit -> Cluster.Valchan.result * float
+(** Asynchronous validated channel: all copies leave at time 0, each
+    honest destination majority-votes over what arrived by the deadline
+    (first arrival per sender wins).  Returns the verdicts and the
+    makespan: the time the last destination reached a majority, or the
+    deadline if one never did.  [label] defaults to ["valchan"]. *)
+
+val randnum :
+  t -> cluster:int -> range:int -> Cluster.Randnum.outcome * float
+(** Asynchronous randNum: escrow shares at time 0, reveals at the phase
+    boundary (half the deadline); a contribution counts iff a strict
+    majority of members received its escrow by the boundary and its
+    reveal by the deadline.  Straggling shares therefore surface as a
+    {e detected} stall ([stalled = true], the paper's < 2/3 quorum rule)
+    rather than a silent bias.  Raises like {!Cluster.Randnum.run}. *)
+
+val rand_cl :
+  t -> ?duration:float -> ?max_restarts:int -> ?max_hop_retries:int ->
+  start:int -> unit -> (Cluster.Walk.stats, Cluster.Walk.error) result * float
+(** Asynchronous randCl walk: the synchronous CTRW hop logic (identical
+    configuration-stream draws, so fault-free endpoints match the
+    synchronous engine) with every hop draw an asynchronous {!randnum}
+    and every token forward an asynchronous {!transmit}; the makespan is
+    the sum of the sub-sessions'. *)
+
+val pick_member : t -> cluster:int -> int
+(** Uniform member via an asynchronous {!randnum} draw. *)
+
+val exchange_node : t -> ?duration:float -> node:int -> unit -> (int, Cluster.Walk.error) result * float
+(** Asynchronously exchange one node out of its cluster (walk, announce,
+    replacement draw, swap — same protocol and charges as
+    {!Cluster.Exchange.exchange_node}, minus round counting). *)
+
+val exchange_all :
+  t -> ?duration:float -> cluster:int -> unit -> (int list, Cluster.Walk.error) result * float
+(** Asynchronously exchange every member of [cluster] (snapshot up-front)
+    and charge the composition updates to the affected neighbourhoods;
+    returns the sorted distinct clusters that swapped a node with it,
+    plus the summed makespan. *)

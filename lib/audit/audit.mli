@@ -57,5 +57,6 @@ val maybe_record_engine :
 (** {!Recorder.maybe_record_engine}. *)
 
 val maybe_record_config :
-  ?labels:(string * string) list -> step:int -> Cluster.Config.t -> unit
+  ?labels:(string * string) list -> ?extra_rng:(string * int64) list ->
+  step:int -> Cluster.Config.t -> unit
 (** {!Recorder.maybe_record_config}. *)

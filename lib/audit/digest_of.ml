@@ -84,7 +84,7 @@ let engine e =
 
 (* Message-level configuration ------------------------------------- *)
 
-let config c =
+let config ?(extra_rng = []) c =
   let ids = List.sort compare (Config.cluster_ids c) in
   let table =
     table_of_clusters (List.map (fun cid -> (cid, Config.members c cid)) ids)
@@ -101,7 +101,7 @@ let config c =
       Fnv.init ids
   in
   let overlay = overlay_of_graph (Config.overlay c) in
-  let rng = rng_of_cursors (Config.rng_cursors c) in
+  let rng = rng_of_cursors (Config.rng_cursors c @ extra_rng) in
   let ledger = ledger_of (Config.ledger c) in
   [
     ("honesty", honesty);

@@ -30,6 +30,10 @@ val engine : Now_core.Engine.t -> (string * int64) list
 (** [(subsystem, digest)] for the state-level engine, in {!subsystems}
     order. *)
 
-val config : Cluster.Config.t -> (string * int64) list
+val config :
+  ?extra_rng:(string * int64) list -> Cluster.Config.t -> (string * int64) list
 (** [(subsystem, digest)] for the message-level configuration, in
-    {!subsystems} order. *)
+    {!subsystems} order.  [extra_rng] folds additional named generator
+    cursors into the [rng] subsystem (sorted with the configuration's
+    own) — how the asynchronous engine's delay stream becomes
+    bisectable. *)

@@ -80,7 +80,8 @@ let maybe_record_engine ?labels ~step engine =
   | Some r when due r ~step -> record ?labels r ~step (Digest_of.engine engine)
   | _ -> ()
 
-let maybe_record_config ?labels ~step cfg =
+let maybe_record_config ?labels ?extra_rng ~step cfg =
   match Atomic.get slot with
-  | Some r when due r ~step -> record ?labels r ~step (Digest_of.config cfg)
+  | Some r when due r ~step ->
+    record ?labels r ~step (Digest_of.config ?extra_rng cfg)
   | _ -> ()

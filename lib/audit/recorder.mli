@@ -73,5 +73,8 @@ val maybe_record_engine :
     installed {e and} [step] falls on its cadence; no-op otherwise. *)
 
 val maybe_record_config :
-  ?labels:(string * string) list -> step:int -> Cluster.Config.t -> unit
-(** {!Digest_of.config}, with the same installed + cadence gating. *)
+  ?labels:(string * string) list -> ?extra_rng:(string * int64) list ->
+  step:int -> Cluster.Config.t -> unit
+(** {!Digest_of.config}, with the same installed + cadence gating;
+    [extra_rng] passes extra generator cursors through to the [rng]
+    digest (the asynchronous driver's delay stream). *)

@@ -17,12 +17,23 @@ val validate : members:int list -> inbox:(int * int) list -> int option
 (** Pure majority rule: the payload sent by strictly more than half of
     [members] (counting at most one message per member), if any. *)
 
+val split_point : int list -> int
+(** The receiver-id threshold {!Agreement.Byz_behavior.Equivocate}
+    splits destinations at: the median member id (0 for an empty list).
+    Exposed so the asynchronous engine dispatches behaviours with the
+    identical split, keeping its zero-delay runs bit-compatible. *)
+
 type result = {
   verdicts : (int * int option) list;
       (** per honest destination member: the accepted payload, if any *)
   unanimous : int option;
       (** [Some v] when every honest destination member accepted [v] *)
 }
+
+val summarise : (int * int option) list -> result
+(** Assemble a {!result} from per-member verdicts ([unanimous] is the
+    shared verdict when every member accepted the same [Some] value).
+    Exposed for the asynchronous engine's sessions. *)
 
 val transmit :
   Config.t -> src_cluster:int -> dst_cluster:int -> ?label:string -> payload:int -> unit -> result

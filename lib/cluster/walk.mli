@@ -35,6 +35,16 @@ type stats = {
           point *)
 }
 
+val coin_range : int
+(** Resolution of the per-hop draw: one randNum over
+    [degree * coin_range] splits into a neighbour index and a uniform
+    holding-time coin.  Exposed so the asynchronous engine's hop draws
+    are bit-compatible. *)
+
+val default_duration : Config.t -> float
+(** The default walk duration, [2 * log2 (#clusters) / mean-degree] —
+    the mixing-time budget [rand_cl] uses when [duration] is omitted. *)
+
 val rand_cl :
   ?duration:float ->
   ?max_restarts:int ->

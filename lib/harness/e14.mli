@@ -1,0 +1,6 @@
+(** Experiment E14 — the message-level primitives under asynchrony
+    (per-link latency, stragglers, partitions) on the discrete-event
+    engine; see DESIGN.md's "Asynchronous kernel" section and the header
+    of e14.ml. *)
+
+val run : ?mode:Common.mode -> ?seed:int64 -> unit -> Common.result

@@ -2,6 +2,8 @@ let honest_bound = 2.0 /. 3.0
 
 let series =
   [
+    ("asim.clock", Store.Gauge, "async engine virtual time (delay units)");
+    ("asim.timeouts", Store.Counter, "async sessions that hit their deadline");
     ("cluster.count", Store.Gauge, "live clusters in the system");
     ("cluster.honest_frac.bound", Store.Gauge, "Theorem 3 floor: > 2/3 honest");
     ("cluster.honest_frac.min", Store.Gauge, "worst per-cluster honest fraction");

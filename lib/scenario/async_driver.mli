@@ -1,0 +1,88 @@
+(** The {!Driver.S} implementation over the asynchronous engine.
+
+    A hybrid of the other two drivers: the control plane (churn, cluster
+    scans, monitor samples) is delegated to an inner {!Msg_driver} over
+    the shared {!Cluster.Config}, while the data plane — every walk,
+    randNum draw, validated transfer and exchange the spec drives — runs
+    through an {!Asim.Session} under the spec's delay model
+    ([Spec.delay], default ["exp"]).  Primitive outcomes are tallied with
+    the same classification as the message-level driver, plus the two
+    asynchronous observables: accumulated virtual time and deadline hits
+    ({!Driver.Stats.t}'s [virtual_time] / [session_timeouts]).
+
+    Determinism: one root stream seeds the configuration exactly as the
+    message driver would; the delay stream is split off it after
+    construction, and each step's audit frame folds the delay cursor into
+    the [rng] digest, so a mis-seeded delay stream is bisectable like any
+    other stream drift. *)
+
+type t
+
+val kind : string
+(** ["async"]. *)
+
+val supports : Spec.t -> (unit, string) result
+(** {!Msg_driver.supports} plus validation of the spec's [delay] name
+    against the {!Asim.Delay} catalogue; constructors raise
+    [Invalid_argument] with the same message. *)
+
+val create : seed:int64 -> ?labels:(string * string) list -> Spec.t -> t
+(** Experiment-style construction from [Rng.create seed] (the
+    {!Msg_driver.create} convention); the delay stream is split off the
+    root after the configuration is built. *)
+
+val create_cell :
+  seed:int -> cell:int -> ?labels:(string * string) list -> Spec.t -> t
+(** CLI-cell-style construction: the root stream is
+    [Rng.of_int (seed + 701 * (cell + 1))] — the asynchronous engine's
+    own cell offset, disjoint from the state (101) and message (401)
+    families. *)
+
+val of_rng :
+  ?patience:float -> rng:Prng.Rng.t -> ?labels:(string * string) list ->
+  Spec.t -> t
+(** Construction from an existing stream; [patience] overrides the
+    session's deadline multiplier (default 8). *)
+
+val of_config :
+  ?patience:float -> rng:Prng.Rng.t -> ?labels:(string * string) list ->
+  Spec.t -> Cluster.Config.t -> t
+(** Wrap an already-built configuration (bespoke experiment geometries),
+    like {!Msg_driver.of_config}. *)
+
+val session : t -> Asim.Session.t
+(** The underlying asynchronous session (clock, timeouts, direct
+    primitive access for experiments). *)
+
+val config : t -> Cluster.Config.t
+(** The driven configuration. *)
+
+val rng : t -> Prng.Rng.t
+(** The driver's root stream (protocol draws; the delay stream is
+    private to {!session}). *)
+
+val ledger : t -> Metrics.Ledger.t
+(** The configuration's cost ledger. *)
+
+val randnum_hist : t -> int array
+(** Copy of the per-value histogram of the driven [randNum] draws. *)
+
+val labels : t -> (string * string) list
+(** See {!Driver.S.labels}. *)
+
+val label : t -> string
+(** See {!Driver.S.label}: [async:scenario-name]. *)
+
+val step : t -> time:int -> unit
+(** See {!Driver.S.step}: the inner driver's churn, then the enabled
+    primitives through the asynchronous session, the inner scan, and an
+    audit frame carrying the delay-stream cursor. *)
+
+val sample : t -> time:int -> unit
+(** See {!Driver.S.sample}: the inner driver's configuration sample plus
+    the [asim.clock] / [asim.timeouts] gauges. *)
+
+val stats : t -> Driver.Stats.t
+(** See {!Driver.S.stats}: the inner driver's churn/scan tallies with the
+    primitive tallies and virtual-time fields replaced by the
+    asynchronous ones. *)

@@ -27,6 +27,8 @@ module Stats = struct
     exchanges : int;
     messages : int;
     rounds : int;
+    virtual_time : float;
+    session_timeouts : int;
   }
 
   let zero =
@@ -58,16 +60,24 @@ module Stats = struct
       exchanges = 0;
       messages = 0;
       rounds = 0;
+      virtual_time = 0.0;
+      session_timeouts = 0;
     }
 
   let summary s =
-    Printf.sprintf
-      "n=%d #C=%d joins=%d leaves=%d splits=%d merges=%d churn-fail=%d \
-       min-honest=%.3f viol=%d msgs=%d"
-      s.n_nodes s.n_clusters s.joins s.leaves s.splits s.merges
-      s.churn_failures s.min_honest_fraction
-      (s.violations_now + s.majority_violations)
-      s.messages
+    let base =
+      Printf.sprintf
+        "n=%d #C=%d joins=%d leaves=%d splits=%d merges=%d churn-fail=%d \
+         min-honest=%.3f viol=%d msgs=%d"
+        s.n_nodes s.n_clusters s.joins s.leaves s.splits s.merges
+        s.churn_failures s.min_honest_fraction
+        (s.violations_now + s.majority_violations)
+        s.messages
+    in
+    (* Virtual time only exists on the asynchronous engine; synchronous
+       summaries keep their historical byte-exact shape. *)
+    if s.virtual_time = 0.0 && s.session_timeouts = 0 then base
+    else Printf.sprintf "%s vt=%.3f timeouts=%d" base s.virtual_time s.session_timeouts
 end
 
 module type S = sig

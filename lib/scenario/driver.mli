@@ -45,6 +45,13 @@ module Stats : sig
     exchanges : int;  (** explicit full-cluster exchanges *)
     messages : int;  (** ledger message total *)
     rounds : int;  (** ledger round total *)
+    virtual_time : float;
+        (** accumulated primitive makespan in delay units (asynchronous
+            engine only; 0 on the synchronous drivers, whose time is
+            counted in [rounds]) *)
+    session_timeouts : int;
+        (** asynchronous sub-sessions that hit their deadline instead of
+            completing early *)
   }
   (** Everything a finished trajectory reports.  Drivers fill the fields
       that apply to their engine and leave the rest at {!zero}'s
@@ -55,14 +62,16 @@ module Stats : sig
 
   val summary : t -> string
   (** One deterministic line (no wall-clock, no addresses) for CLI
-      output; the determinism CI gate diffs it across [-j] and reruns. *)
+      output; the determinism CI gate diffs it across [-j] and reruns.
+      Appends the virtual-time fields only when they are non-zero, so
+      synchronous summaries keep their historical shape byte-exactly. *)
 end
 
 module type S = sig
   type t
 
   val kind : string
-  (** ["state"] or ["msg"]. *)
+  (** ["state"], ["msg"] or ["async"]. *)
 
   val labels : t -> (string * string) list
   (** The monitor/trace labels fixed at creation. *)

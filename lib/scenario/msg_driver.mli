@@ -76,6 +76,16 @@ val leave : t -> unit
     [max 2 (2/3 * cluster_size)] (a merge refused for lack of a partner
     is not a failure). *)
 
+val churn_step : t -> time:int -> unit
+(** The spec's churn action for this step, without driving any primitive
+    — the control-plane half of {!step}, exposed so the asynchronous
+    driver can reuse it (its data plane runs on {!Asim} instead). *)
+
+val scan : t -> unit
+(** The post-step cluster scan (sizes, honest majorities, honest-fraction
+    floor) — read-only; the other half {!step} shares with the
+    asynchronous driver. *)
+
 val walk_once : t -> time:int -> unit
 (** One [randCl] walk from the live cluster [time mod #C], honouring the
     spec's [walk_duration]; tallies completions, hop retries, failures

@@ -5,6 +5,7 @@ module Driver = Driver
 module Stats = Driver.Stats
 module State_driver = State_driver
 module Msg_driver = Msg_driver
+module Async_driver = Async_driver
 
 let steady = Spec.default
 
@@ -87,37 +88,50 @@ let of_name ?steps name =
       (Printf.sprintf "unknown scenario %S; available: %s" name
          (String.concat ", " names))
 
-type engine = [ `State | `Msg | `Mixed ]
+type engine = [ `State | `Msg | `Mixed | `Async ]
 
-let engine_name = function `State -> "state" | `Msg -> "msg" | `Mixed -> "mixed"
+let engine_name = function
+  | `State -> "state"
+  | `Msg -> "msg"
+  | `Mixed -> "mixed"
+  | `Async -> "async"
 
 let engine_of_name = function
   | "state" -> Ok `State
   | "msg" -> Ok `Msg
   | "mixed" -> Ok `Mixed
+  | "async" -> Ok `Async
   | other ->
     Error
-      (Printf.sprintf "unknown engine %S; available: state, msg, mixed" other)
+      (Printf.sprintf "unknown engine %S; available: state, msg, mixed, async"
+         other)
 
-type driver = State of State_driver.t | Msg of Msg_driver.t
+type driver =
+  | State of State_driver.t
+  | Msg of Msg_driver.t
+  | Async of Async_driver.t
 
 let step d ~time =
   match d with
   | State t -> State_driver.step t ~time
   | Msg t -> Msg_driver.step t ~time
+  | Async t -> Async_driver.step t ~time
 
 let sample d ~time =
   match d with
   | State t -> State_driver.sample t ~time
   | Msg t -> Msg_driver.sample t ~time
+  | Async t -> Async_driver.sample t ~time
 
 let stats = function
   | State t -> State_driver.stats t
   | Msg t -> Msg_driver.stats t
+  | Async t -> Async_driver.stats t
 
 let label = function
   | State t -> State_driver.label t
   | Msg t -> Msg_driver.label t
+  | Async t -> Async_driver.label t
 
 let run_driver ?steps (spec : Spec.t) d =
   let steps = Option.value steps ~default:spec.Spec.steps in
@@ -138,6 +152,7 @@ let cell_driver ~engine ~seed (spec : Spec.t) i =
     match engine with
     | `State -> `State
     | `Msg -> `Msg
+    | `Async -> `Async
     | `Mixed -> if i mod 2 = 0 then `State else `Msg
   in
   match which with
@@ -149,11 +164,16 @@ let cell_driver ~engine ~seed (spec : Spec.t) i =
     Msg
       (Msg_driver.create_cell ~seed ~cell:i
          ~labels:(cell_labels ~scenario:"msg" i) spec)
+  | `Async ->
+    Async
+      (Async_driver.create_cell ~seed ~cell:i
+         ~labels:(cell_labels ~scenario:"async" i) spec)
 
 let check_supported (engine : engine) (spec : Spec.t) =
   match engine with
   | `State -> Ok ()
   | `Msg | `Mixed -> Msg_driver.supports spec
+  | `Async -> Async_driver.supports spec
 
 let cells ?jobs ?steps ~engine ~seed ~cells (spec : Spec.t) =
   Exec.par_map ?jobs

@@ -4,7 +4,9 @@
 
     A scenario ({!Spec.t}) is a first-class, seeded description of a
     trajectory; a driver ({!Driver.S}) runs it on the state-level engine
-    ({!State_driver}) or with real per-node messages ({!Msg_driver}).
+    ({!State_driver}), with real per-node messages ({!Msg_driver}), or
+    under the asynchronous discrete-event kernel with per-link latency
+    ({!Async_driver}).
     The {!cells} fan-out derives every cell's randomness from the seed
     and its submission index, so all tables and exports stay
     byte-identical for any [-j] and with monitoring on or off — the
@@ -15,6 +17,7 @@ module Driver = Driver
 module Stats = Driver.Stats
 module State_driver = State_driver
 module Msg_driver = Msg_driver
+module Async_driver = Async_driver
 
 val steady : Spec.t
 (** Paired churn, walks and a periodic exchange — {!Spec.default}, the
@@ -41,18 +44,22 @@ val of_name : ?steps:int -> string -> (Spec.t, string) result
     duration.  [Error] lists the catalogue (or the strategy's accepted
     parameters). *)
 
-type engine = [ `State | `Msg | `Mixed ]
+type engine = [ `State | `Msg | `Mixed | `Async ]
 (** Which driver(s) a cell fan-out uses; [`Mixed] alternates by cell
-    parity (even cells state-level, odd cells message-level). *)
+    parity (even cells state-level, odd cells message-level), and
+    [`Async] runs every cell on the asynchronous engine. *)
 
 val engine_name : engine -> string
-(** ["state"], ["msg"] or ["mixed"]. *)
+(** ["state"], ["msg"], ["mixed"] or ["async"]. *)
 
 val engine_of_name : string -> (engine, string) result
 (** Inverse of {!engine_name}, with a friendly error. *)
 
-type driver = State of State_driver.t | Msg of Msg_driver.t
-(** A running driver of either engine, for generic stepping. *)
+type driver =
+  | State of State_driver.t
+  | Msg of Msg_driver.t
+  | Async of Async_driver.t
+(** A running driver of any engine, for generic stepping. *)
 
 val step : driver -> time:int -> unit
 (** Dispatch {!Driver.S.step}. *)
@@ -74,8 +81,8 @@ val run_driver : ?steps:int -> Spec.t -> driver -> Driver.Stats.t
     sampling contract. *)
 
 val check_supported : engine -> Spec.t -> (unit, string) result
-(** {!Msg_driver.supports} when the engine involves message-level cells;
-    always [Ok] for [`State]. *)
+(** {!Msg_driver.supports} when the engine involves message-level cells,
+    {!Async_driver.supports} for [`Async]; always [Ok] for [`State]. *)
 
 val cells :
   ?jobs:int ->
@@ -88,6 +95,6 @@ val cells :
 (** Fan [cells] independent cells of the scenario over the [Exec] pool
     and return each cell's [(label, stats)] in submission order.  Cell
     [i] is seeded by index ([seed + 101 (i+1)] state-level,
-    [seed + 401 (i+1)] message-level — the historical now_sim offsets)
-    and labelled [("cell", i); ("scenario", kind)], so results are
+    [seed + 401 (i+1)] message-level, [seed + 701 (i+1)] asynchronous —
+    the historical now_sim offsets) and labelled [("cell", i); ("scenario", kind)], so results are
     byte-identical for any [?jobs]. *)

@@ -38,6 +38,7 @@ type t = {
   walk_duration : float option;
   randnum_range : int;
   valchan_route : (int * int) option;
+  delay : string option;
   sample_start : bool;
   sample_every : int;
 }
@@ -68,6 +69,7 @@ let default =
     walk_duration = None;
     randnum_range = 64;
     valchan_route = None;
+    delay = None;
     sample_start = true;
     sample_every = 1;
   }

@@ -64,6 +64,11 @@ type t = {
   valchan_route : (int * int) option;
       (** fixed (src, dst) cluster route for transfers; [None] rotates
           over the live clusters by step parity *)
+  delay : string option;
+      (** {!Asim.Delay} catalogue name for the asynchronous driver's
+          per-link latency (e.g. ["exp:mean=2"],
+          ["straggler:every=2,factor=32"]); [None] defaults to ["exp"].
+          Ignored by the synchronous drivers. *)
   sample_start : bool;  (** emit a monitor sample at time 0 *)
   sample_every : int;  (** monitor sample period in steps *)
 }

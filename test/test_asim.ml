@@ -1,0 +1,291 @@
+(* Tests for the asynchronous discrete-event engine (lib/asim): event-queue
+   ordering properties, the delay-model catalogue, the zero-delay
+   cross-validation against the synchronous message engine, and the
+   determinism contracts of the async scenario driver (rerun and -j
+   byte-identity, zero perturbation under recording). *)
+
+module Queue = Asim.Event_queue
+module Delay = Asim.Delay
+module Session = Asim.Session
+module Config = Cluster.Config
+module Valchan = Cluster.Valchan
+module Randnum = Cluster.Randnum
+module Walk = Cluster.Walk
+module B = Agreement.Byz_behavior
+module Graph = Dsgraph.Graph
+module Rng = Prng.Rng
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* ---------- event-queue properties ---------- *)
+
+(* Pops come out sorted by time, FIFO among equal times, and nothing is
+   lost or duplicated.  Times are drawn from a small integer range so
+   ties actually occur. *)
+let prop_queue_stable_order =
+  QCheck.Test.make ~name:"event queue pops in stable (time, seq) order"
+    ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 60) (int_range 0 5))
+    (fun times ->
+      let q = Queue.create () in
+      List.iteri
+        (fun i t -> Queue.push q ~time:(float_of_int t) (i, t))
+        times;
+      let rec drain acc =
+        match Queue.pop q with
+        | None -> List.rev acc
+        | Some (time, payload) -> drain ((time, payload) :: acc)
+      in
+      let out = drain [] in
+      let sorted_times = List.sort compare (List.map fst out) in
+      List.length out = List.length times
+      (* no loss, no duplication: payload indices are exactly 0..n-1 *)
+      && List.sort compare (List.map (fun (_, (i, _)) -> i) out)
+         = List.init (List.length times) (fun i -> i)
+      (* times non-decreasing *)
+      && List.map fst out = sorted_times
+      (* FIFO among equal times: payload indices increase within a tie *)
+      && fst
+           (List.fold_left
+              (fun (ok, prev) (time, (i, _)) ->
+                match prev with
+                | Some (ptime, pi) when ptime = time -> (ok && pi < i, Some (time, i))
+                | _ -> (ok, Some (time, i)))
+              (true, None) out))
+
+(* Interleaved pushes and pops never break the heap order. *)
+let prop_queue_interleaved =
+  QCheck.Test.make ~name:"event queue survives interleaved push/pop" ~count:200
+    QCheck.(list_of_size (QCheck.Gen.int_range 0 60) (pair bool (int_range 0 9)))
+    (fun ops ->
+      let q = Queue.create () in
+      let pushed = ref 0 and popped = ref 0 and last = ref neg_infinity in
+      let ok = ref true in
+      List.iter
+        (fun (is_pop, t) ->
+          if is_pop then (
+            match Queue.pop q with
+            | None -> ()
+            | Some (time, ()) ->
+              incr popped;
+              (* a pop can never go below an earlier pop once the queue
+                 only ever received times >= that pop *)
+              if time < !last then ok := false;
+              last := time
+          )
+          else begin
+            let time = Float.max !last (float_of_int t) in
+            Queue.push q ~time ();
+            incr pushed
+          end)
+        ops;
+      let rec drain () =
+        match Queue.pop q with
+        | None -> ()
+        | Some (time, ()) ->
+          incr popped;
+          if time < !last then ok := false;
+          last := time;
+          drain ()
+      in
+      drain ();
+      !ok && !pushed = !popped && Queue.is_empty q)
+
+let test_queue_rejects_nan () =
+  let q = Queue.create () in
+  checkb "NaN time raises" true
+    (match Queue.push q ~time:Float.nan () with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+(* ---------- delay models ---------- *)
+
+let test_delay_round_trip () =
+  List.iter
+    (fun (base, _) ->
+      match Delay.of_name base with
+      | Error msg -> Alcotest.fail msg
+      | Ok d -> (
+        (* the canonical name parses back to the same model *)
+        match Delay.of_name (Delay.name d) with
+        | Error msg -> Alcotest.fail msg
+        | Ok d' -> checks ("round-trip " ^ base) (Delay.name d) (Delay.name d')))
+    Delay.catalogue;
+  checkb "unknown model is refused" true
+    (match Delay.of_name "warp" with Error _ -> true | Ok _ -> false);
+  checkb "bad parameter is refused" true
+    (match Delay.of_name "uniform:mean=-1" with Error _ -> true | Ok _ -> false);
+  checkb "unknown parameter is refused" true
+    (match Delay.of_name "zero:mean=2" with Error _ -> true | Ok _ -> false)
+
+(* Bounded support and structural slow sets: the crisp-threshold
+   arithmetic E14 relies on. *)
+let prop_delay_bounded_support =
+  QCheck.Test.make ~name:"uniform/straggler delays stay in their bands"
+    ~count:200
+    QCheck.(pair (int_range 0 1000) (int_range 1 4))
+    (fun (seed, every) ->
+      let rng = Rng.of_int seed in
+      let mean = 1.0 and factor = 8.0 in
+      let d = Delay.Straggler { mean; every; factor } in
+      let ok = ref true in
+      for src = 0 to 19 do
+        let x = Delay.sample d rng ~src ~dst:(src + 1) in
+        let slow = Delay.is_slow d ~src ~dst:(src + 1) in
+        if slow <> (src mod every = 0) then ok := false;
+        let lo = if slow then 0.5 *. factor else 0.5
+        and hi = if slow then 1.5 *. factor else 1.5 in
+        if x < lo || x >= hi then ok := false
+      done;
+      !ok)
+
+(* ---------- zero-delay cross-validation ---------- *)
+
+let pair_config ~rng ~byz =
+  let src = List.init 15 (fun i -> i) in
+  let dst = List.init 15 (fun i -> 100 + i) in
+  let byzantine node =
+    if node >= 0 && node < byz then Some (B.Equivocate (9_001, 9_002)) else None
+  in
+  let overlay = Graph.create () in
+  ignore (Graph.add_edge overlay 0 1);
+  Config.make ~rng ~byzantine ~clusters:[ (0, src); (1, dst) ] ~overlay ()
+
+(* Zero-delay async valchan reproduces the synchronous verdicts exactly,
+   including against equivocating senders (same behaviour-stream draws). *)
+let test_zero_delay_valchan_matches_sync () =
+  List.iter
+    (fun byz ->
+      let seed = 2024 + byz in
+      let cfg_sync = pair_config ~rng:(Rng.of_int seed) ~byz in
+      let cfg_async = pair_config ~rng:(Rng.of_int seed) ~byz in
+      let reference =
+        Valchan.transmit cfg_sync ~src_cluster:0 ~dst_cluster:1 ~payload:77 ()
+      in
+      let s = Session.create ~rng:(Rng.of_int (seed + 1)) ~delay:Delay.Zero cfg_async in
+      let res, makespan =
+        Session.transmit s ~src_cluster:0 ~dst_cluster:1 ~payload:77 ()
+      in
+      checkb "verdicts equal" true (reference.Valchan.verdicts = res.Valchan.verdicts);
+      checkb "unanimous equal" true
+        (reference.Valchan.unanimous = res.Valchan.unanimous);
+      checkb "zero delay, zero makespan" true (makespan = 0.0);
+      checki "no timeouts" 0 (Session.timeouts s))
+    [ 0; 5; 9 ]
+
+let single_config ~rng ~n =
+  let ids = List.init n (fun i -> i) in
+  let overlay = Graph.create () in
+  Graph.add_vertex overlay 0;
+  Config.make ~rng ~byzantine:(fun _ -> None) ~clusters:[ (0, ids) ] ~overlay ()
+
+let test_zero_delay_randnum_matches_sync () =
+  for seed = 1 to 8 do
+    let cfg_sync = single_config ~rng:(Rng.of_int seed) ~n:15 in
+    let cfg_async = single_config ~rng:(Rng.of_int seed) ~n:15 in
+    let reference = Randnum.run cfg_sync ~cluster:0 ~range:1000 in
+    let s = Session.create ~rng:(Rng.of_int (seed + 1)) ~delay:Delay.Zero cfg_async in
+    let o, _ = Session.randnum s ~cluster:0 ~range:1000 in
+    checki "value equal" reference.Randnum.value o.Randnum.value;
+    checki "participants equal" reference.Randnum.participants o.Randnum.participants;
+    checkb "stalled equal" true (reference.Randnum.stalled = o.Randnum.stalled)
+  done
+
+let ring_config ~rng =
+  let clusters =
+    List.init 6 (fun c -> (c, List.init 12 (fun j -> (c * 100) + j)))
+  in
+  let overlay = Graph.create () in
+  for c = 0 to 5 do
+    ignore (Graph.add_edge overlay c ((c + 1) mod 6))
+  done;
+  Config.make ~rng ~byzantine:(fun _ -> None) ~clusters ~overlay ()
+
+let test_zero_delay_walk_matches_sync () =
+  for seed = 1 to 6 do
+    let cfg_sync = ring_config ~rng:(Rng.of_int seed) in
+    let cfg_async = ring_config ~rng:(Rng.of_int seed) in
+    let reference = Walk.rand_cl ~duration:6.0 cfg_sync ~start:0 in
+    let s = Session.create ~rng:(Rng.of_int (seed + 1)) ~delay:Delay.Zero cfg_async in
+    let res, makespan = Session.rand_cl s ~duration:6.0 ~start:0 () in
+    (match (reference, res) with
+    | Ok a, Ok b ->
+      checki "endpoint equal" a.Walk.selected b.Walk.selected;
+      checki "hops equal" a.Walk.hops b.Walk.hops;
+      checki "restarts equal" a.Walk.restarts b.Walk.restarts
+    | Error _, Error _ -> ()
+    | _ -> Alcotest.fail "sync and zero-delay async walks disagree");
+    checkb "zero delay, zero makespan" true (makespan = 0.0)
+  done
+
+(* ---------- async scenario driver determinism ---------- *)
+
+let async_cells ?jobs () =
+  Scenario.cells ?jobs ~engine:`Async ~seed:7 ~cells:4 Scenario.steady
+
+let test_async_cells_jobs_identical () =
+  let sequential = async_cells ~jobs:1 () in
+  let parallel = async_cells ~jobs:2 () in
+  let rerun = async_cells ~jobs:2 () in
+  checkb "-j1 == -j2" true (sequential = parallel);
+  checkb "rerun identical" true (parallel = rerun);
+  List.iter
+    (fun (label, s) ->
+      checks "async label" "async:steady" label;
+      checkb "virtual time advanced" true (s.Scenario.Stats.virtual_time > 0.0))
+    sequential
+
+(* Recording digests must not change a single stat (the recorder's
+   zero-perturbation contract extends to the async driver, delay-stream
+   cursor included). *)
+let test_async_recording_zero_perturbation () =
+  let plain = async_cells () in
+  let recorder = Audit.create ~cadence:2 () in
+  let recorded = Audit.with_recorder recorder (fun () -> async_cells ()) in
+  checkb "stats identical under recording" true (plain = recorded);
+  checkb "frames were recorded" true (Audit.Recorder.n_frames recorder > 0)
+
+let test_engine_of_name_async () =
+  checkb "async parses" true (Scenario.engine_of_name "async" = Ok `Async);
+  checks "async prints" "async" (Scenario.engine_name `Async);
+  (match Scenario.engine_of_name "bogus" with
+  | Ok _ -> Alcotest.fail "bogus engine accepted"
+  | Error msg ->
+    checkb "error lists the full catalogue" true
+      (let has needle =
+         let nlen = String.length needle and len = String.length msg in
+         let rec go i = i + nlen <= len && (String.sub msg i nlen = needle || go (i + 1)) in
+         go 0
+       in
+       has "state" && has "msg" && has "mixed" && has "async"));
+  (* a bad delay name in the spec is rejected before any cell runs *)
+  let bad = { Scenario.steady with Scenario.Spec.delay = Some "warp" } in
+  checkb "unknown delay model rejected" true
+    (match Scenario.check_supported `Async bad with
+    | Error _ -> true
+    | Ok () -> false)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_queue_stable_order;
+    QCheck_alcotest.to_alcotest prop_queue_interleaved;
+    Alcotest.test_case "event queue rejects NaN times" `Quick
+      test_queue_rejects_nan;
+    Alcotest.test_case "delay catalogue round-trips through of_name" `Quick
+      test_delay_round_trip;
+    QCheck_alcotest.to_alcotest prop_delay_bounded_support;
+    Alcotest.test_case "zero-delay valchan == synchronous verdicts" `Quick
+      test_zero_delay_valchan_matches_sync;
+    Alcotest.test_case "zero-delay randNum == synchronous draw" `Quick
+      test_zero_delay_randnum_matches_sync;
+    Alcotest.test_case "zero-delay walk == synchronous endpoint" `Quick
+      test_zero_delay_walk_matches_sync;
+    Alcotest.test_case "async cells are byte-identical for any -j" `Quick
+      test_async_cells_jobs_identical;
+    Alcotest.test_case "recording perturbs no async stat" `Quick
+      test_async_recording_zero_perturbation;
+    Alcotest.test_case "engine catalogue includes async" `Quick
+      test_engine_of_name_async;
+  ]

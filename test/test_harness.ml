@@ -12,13 +12,13 @@ let run_silently runner =
   runner Harness.Common.Quick
 
 let test_registry_complete () =
-  checki "seventeen experiments" 17 (List.length Harness.Registry.all);
+  checki "eighteen experiments" 18 (List.length Harness.Registry.all);
   List.iter
     (fun id ->
       checkb ("registered: " ^ id) true (Harness.Registry.find id <> None))
     [
       "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
-      "E12"; "E13"; "F1"; "F2"; "A1"; "A2";
+      "E12"; "E13"; "E14"; "F1"; "F2"; "A1"; "A2";
     ];
   checkb "case-insensitive" true (Harness.Registry.find "e4" <> None);
   checkb "unknown rejected" true (Harness.Registry.find "E99" = None)
@@ -41,6 +41,7 @@ let test_e9 () = experiment_ok "E9"
 let test_e11 () = experiment_ok "E11"
 let test_e12 () = experiment_ok "E12"
 let test_e13 () = experiment_ok "E13"
+let test_e14 () = experiment_ok "E14"
 let test_f1 () = experiment_ok "F1"
 let test_a1 () = experiment_ok "A1"
 
@@ -72,6 +73,7 @@ let suite =
     Alcotest.test_case "E11 end-to-end" `Slow test_e11;
     Alcotest.test_case "E12 end-to-end" `Slow test_e12;
     Alcotest.test_case "E13 end-to-end" `Slow test_e13;
+    Alcotest.test_case "E14 end-to-end" `Slow test_e14;
     Alcotest.test_case "F1 end-to-end" `Slow test_f1;
     Alcotest.test_case "A1 end-to-end" `Slow test_a1;
   ]

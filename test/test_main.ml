@@ -19,6 +19,7 @@ let () =
       ("core", Test_core.suite);
       ("adversary", Test_adversary.suite);
       ("scenario", Test_scenario.suite);
+      ("asim", Test_asim.suite);
       ("apps", Test_apps.suite);
       ("snapshot-batch-workload", Test_snapshot.suite);
       ("properties", Test_properties.suite);
