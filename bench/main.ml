@@ -387,11 +387,12 @@ let run_micro () =
 (* Invariant/timing summary (--monitor-json)                           *)
 (* ------------------------------------------------------------------ *)
 
-(* BENCH_monitor.json: per-experiment wall time + the run's invariant
-   summary, consumed by scripts/bench_diff.ml.  The wall times are the
-   only nondeterministic fields — the comparator treats them leniently
-   (a drift band), while the invariant aggregates are seeded and must
-   match the baseline exactly. *)
+(* BENCH_monitor.json: per-experiment wall time + allocation + the run's
+   invariant summary, consumed by scripts/bench_diff.ml.  The wall times
+   and caller-domain allocation deltas are the only nondeterministic
+   fields — the comparator treats wall times leniently (a drift band)
+   and allocation informationally, while the invariant aggregates are
+   seeded and must match the baseline exactly. *)
 let write_monitor_json ~path ~mode ~results ~timings store =
   let buf = Buffer.create 4096 in
   let fr = Monitor.Store.float_repr in
@@ -411,11 +412,14 @@ let write_monitor_json ~path ~mode ~results ~timings store =
   List.iteri
     (fun i r ->
       let id = r.Harness.Common.id in
-      let wall = try Hashtbl.find timings id with Not_found -> 0.0 in
+      let wall, alloc =
+        try Hashtbl.find timings id with Not_found -> (0.0, 0.0)
+      in
       Buffer.add_string buf
         (Printf.sprintf
-           "    {\"id\": %S, \"ok\": %b, \"rows\": %d, \"wall_seconds\": %.3f}%s\n"
-           id r.Harness.Common.ok (rows_of r) wall
+           "    {\"id\": %S, \"ok\": %b, \"rows\": %d, \"wall_seconds\": \
+            %.3f, \"alloc_bytes\": %.0f}%s\n"
+           id r.Harness.Common.ok (rows_of r) wall alloc
            (if i = last then "" else ",")))
     sorted;
   Buffer.add_string buf "  ],\n";
@@ -468,6 +472,40 @@ let write_monitor_json ~path ~mode ~results ~timings store =
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
+(* BENCH_history.jsonl: one appended line per --history run — the perf
+   trajectory scripts/bench_report.ml renders.  Opt-in (a plain bench run
+   never touches the file), and stamped with real time: the history file
+   is an operator log, not a gated artifact. *)
+let append_history ~path ~mode ~results ~timings =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\"format\": 1, \"mode\": %S, \"stamp\": %.0f, \
+                     \"experiments\": ["
+       mode (Unix.time ()));
+  let sorted =
+    List.sort
+      (fun a b -> compare a.Harness.Common.id b.Harness.Common.id)
+      results
+  in
+  List.iteri
+    (fun i r ->
+      let id = r.Harness.Common.id in
+      let wall, alloc =
+        try Hashtbl.find timings id with Not_found -> (0.0, 0.0)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "%s{\"id\": %S, \"ok\": %b, \"wall_seconds\": %.3f, \
+            \"alloc_bytes\": %.0f}"
+           (if i = 0 then "" else ", ")
+           id r.Harness.Common.ok wall alloc))
+    sorted;
+  Buffer.add_string buf "]}\n";
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  Buffer.output_buffer oc buf;
+  close_out oc;
+  Printf.printf "appended history entry to %s\n%!" path
+
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -495,10 +533,18 @@ let () =
     | _ :: rest -> parse_monitor_json rest
   in
   let monitor_json = parse_monitor_json args in
+  let rec parse_history = function
+    | [] -> None
+    | "--history" :: path :: _ -> Some path
+    | [ "--history" ] -> failwith "bench: --history expects an argument"
+    | _ :: rest -> parse_history rest
+  in
+  let history = parse_history args in
   let ids =
     let rec strip = function
       | [] -> []
-      | ("-j" | "--jobs" | "--monitor-json") :: _ :: rest -> strip rest
+      | ("-j" | "--jobs" | "--monitor-json" | "--history") :: _ :: rest ->
+        strip rest
       | a :: rest ->
         if String.length a >= 2 && String.sub a 0 2 = "--" then strip rest
         else a :: strip rest
@@ -515,12 +561,18 @@ let () =
     (if full then "FULL" else "QUICK");
   let timings = Hashtbl.create 32 in
   let timings_mu = Mutex.create () in
+  (* Wall time plus the wrapping domain's allocation delta.  Experiments
+     fan their cells out over the Exec pool, so the delta under-counts
+     worker-domain allocation — it tracks the caller-side share, which is
+     stable enough to trend (and flagged informational in bench_diff). *)
   let wrap id f =
+    let a0 = Gc.allocated_bytes () in
     let t0 = Unix.gettimeofday () in
     let r = f () in
     let dt = Unix.gettimeofday () -. t0 in
+    let da = Gc.allocated_bytes () -. a0 in
     Mutex.lock timings_mu;
-    Hashtbl.replace timings id dt;
+    Hashtbl.replace timings id (dt, da);
     Mutex.unlock timings_mu;
     r
   in
@@ -529,7 +581,7 @@ let () =
   in
   let results =
     match store with
-    | None -> Harness.Registry.run_ids ~mode ids
+    | None -> Harness.Registry.run_ids ~wrap ~mode ids
     | Some m ->
       Monitor.with_monitor m (fun () ->
           Harness.Registry.run_ids ~wrap ~mode ids)
@@ -542,6 +594,11 @@ let () =
     write_monitor_json ~path ~mode:(if full then "full" else "quick") ~results
       ~timings m
   | _ -> ());
+  (match history with
+  | Some path ->
+    append_history ~path ~mode:(if full then "full" else "quick") ~results
+      ~timings
+  | None -> ());
   run_breakdown ();
   if not skip_micro then run_micro ();
   if ok < List.length results then exit 1

@@ -575,6 +575,37 @@ let total_messages results =
     (fun acc (_, s) -> acc + s.Scenario.Stats.messages)
     0 results
 
+(* Opt-in Exec-pool introspection, shared by trace and monitor.  The
+   block prints after every gated byte (exports are files, the stats go
+   to stdout last) and the flag defaults to off, so enabling it cannot
+   perturb a byte-identity contract — the wall-clock fields are
+   explicitly non-deterministic. *)
+let exec_stats_t =
+  Arg.(
+    value & flag
+    & info [ "exec-stats" ]
+        ~doc:
+          "After the run, print the Exec pool's scheduling counters \
+           (tasks per worker rank, spawn/budget decisions, queue-wait and \
+           merge-stall wall time).  Wall-clock figures are \
+           non-deterministic; no exported file changes.")
+
+let print_exec_stats () =
+  let s = Exec.stats () in
+  Printf.printf
+    "\nexec pool: %d par_map calls, %d tasks (%d run by callers), %d \
+     workers spawned, %d budget denials\n"
+    s.Exec.par_calls s.Exec.tasks s.Exec.caller_tasks s.Exec.workers_spawned
+    s.Exec.budget_denials;
+  Printf.printf "  queue wait %.3fs total, merge stall %.3fs (wall clock, \
+                 non-deterministic)\n"
+    s.Exec.queue_wait_s s.Exec.merge_stall_s;
+  if Array.length s.Exec.worker_tasks > 0 then begin
+    print_string "  tasks per worker rank:";
+    Array.iter (fun n -> Printf.printf " %d" n) s.Exec.worker_tasks;
+    print_newline ()
+  end
+
 (* ---------------- trace ---------------- *)
 
 let trace_cmd =
@@ -607,7 +638,18 @@ let trace_cmd =
             "Also record one point per kernel message, round boundary and \
              walk hop (voluminous).")
   in
-  let run engine scenario out chrome cells steps net_detail seed jobs =
+  let profile_alloc_t =
+    Arg.(
+      value & flag
+      & info [ "profile-alloc" ]
+          ~doc:
+            "Record per-span allocation deltas ($(b,Gc.allocated_bytes) on \
+             the span's own domain) into the trace and add alloc columns \
+             to the profile report.  Informational: allocation is not part \
+             of any byte-identity gate.")
+  in
+  let run engine scenario out chrome cells steps net_detail profile_alloc
+      exec_stats seed jobs =
     setup_jobs jobs;
     if cells < 1 then `Error (true, "need at least one cell")
     else
@@ -615,7 +657,7 @@ let trace_cmd =
       | Error msg -> `Error (false, msg)
       | Ok spec ->
         let steps = spec.Scenario.Spec.steps in
-        Trace.start ~net_detail ();
+        Trace.start ~net_detail ~profile_alloc ();
         let results = Scenario.cells ~engine ~seed ~cells spec in
         let dump = Trace.stop () in
         write_file out (Trace.to_jsonl dump);
@@ -635,13 +677,15 @@ let trace_cmd =
           out
           (match chrome with None -> "" | Some p -> Printf.sprintf " (+ %s)" p);
         print_string (Trace.Report.render (Trace.Report.of_dump dump));
+        if exec_stats then print_exec_stats ();
         `Ok ()
   in
   let term =
     Term.(
       ret
         (const run $ engine_t $ scenario_name_t ~default:"steady" $ out_t
-       $ chrome_t $ cells_t $ opt_steps_t $ net_detail_t $ seed_t $ jobs_t))
+       $ chrome_t $ cells_t $ opt_steps_t $ net_detail_t $ profile_alloc_t
+       $ exec_stats_t $ seed_t $ jobs_t))
   in
   Cmd.v
     (Cmd.info "trace"
@@ -704,7 +748,7 @@ let monitor_cmd =
              violations.")
   in
   let run engine scenario out csv html cells steps cadence behavior byz_tau
-      seed jobs =
+      exec_stats seed jobs =
     setup_jobs jobs;
     if cells < 1 then `Error (true, "need at least one cell")
     else if (match steps with Some s -> s < 1 | None -> false) then
@@ -784,6 +828,7 @@ let monitor_cmd =
           print_endline "breached invariants:";
           List.iter (fun (inv, n) -> Printf.printf "  %-24s %6d\n" inv n) tally
         end;
+        if exec_stats then print_exec_stats ();
         `Ok ())
   in
   let term =
@@ -791,7 +836,7 @@ let monitor_cmd =
       ret
         (const run $ engine_t $ scenario_name_t ~default:"primitives" $ out_t
        $ csv_out_t $ html_t $ cells_t $ opt_steps_t $ cadence_t $ behavior_t
-       $ byz_tau_t $ seed_t $ jobs_t))
+       $ byz_tau_t $ exec_stats_t $ seed_t $ jobs_t))
   in
   Cmd.v
     (Cmd.info "monitor"

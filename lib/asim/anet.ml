@@ -15,6 +15,11 @@ type 'msg t = {
   mutable messages_sent : int;
   mutable deviant_sent : int;
   mutable delivered : int;
+  (* Telemetry peaks (queue depth, undelivered messages): pure functions
+     of the event stream, safe to export under the byte-identity gates. *)
+  mutable queue_peak : int;
+  mutable inflight : int;
+  mutable inflight_peak : int;
   ledger : Metrics.Ledger.t;
 }
 
@@ -29,6 +34,9 @@ let create ?ledger ~rng ~delay () =
     messages_sent = 0;
     deviant_sent = 0;
     delivered = 0;
+    queue_peak = 0;
+    inflight = 0;
+    inflight_peak = 0;
     ledger;
   }
 
@@ -49,10 +57,17 @@ let nodes t =
 (* Queue + count + trace one message; ledger charging is the caller's, so
    [multicast] can batch its charge — same split as the synchronous
    kernel's [send_uncharged]. *)
+let note_push t =
+  let q = Event_queue.length t.queue in
+  if q > t.queue_peak then t.queue_peak <- q
+
 let send_uncharged t ~src ~dst ~label ~deviant msg =
   if not (is_alive t src) then invalid_arg "Anet.send: sender is not alive";
   let d = Delay.sample t.delay t.rng ~src ~dst in
   Event_queue.push t.queue ~time:(t.now +. d) (Deliver { src; dst; msg });
+  note_push t;
+  t.inflight <- t.inflight + 1;
+  if t.inflight > t.inflight_peak then t.inflight_peak <- t.inflight;
   t.messages_sent <- t.messages_sent + 1;
   if deviant then begin
     t.deviant_sent <- t.deviant_sent + 1;
@@ -79,7 +94,9 @@ let multicast t ~src ~dsts ?(label = "msg") msg =
     dsts;
   if !n > 0 then Metrics.Ledger.charge t.ledger ~label ~messages:!n ~rounds:0
 
-let at t ~time fn = Event_queue.push t.queue ~time (Timer fn)
+let at t ~time fn =
+  Event_queue.push t.queue ~time (Timer fn);
+  note_push t
 
 let run ?until t =
   let due () =
@@ -97,6 +114,7 @@ let run ?until t =
       match event with
       | Timer fn -> fn ~now:t.now
       | Deliver { src; dst; msg } -> (
+        t.inflight <- t.inflight - 1;
         match Hashtbl.find_opt t.nodes dst with
         | None -> () (* destination departed: message lost *)
         | Some node ->
@@ -109,3 +127,5 @@ let messages_sent t = t.messages_sent
 let deviant_sent t = t.deviant_sent
 let delivered t = t.delivered
 let pending t = Event_queue.length t.queue
+let queue_peak t = t.queue_peak
+let inflight_peak t = t.inflight_peak

@@ -87,3 +87,13 @@ val delivered : 'msg t -> int
 
 val pending : 'msg t -> int
 (** Events still queued (undelivered messages + unfired timers). *)
+
+val queue_peak : 'msg t -> int
+(** Largest event-queue length ever reached (messages + timers) — a pure
+    function of the event stream, so safe for deterministic telemetry
+    exports. *)
+
+val inflight_peak : 'msg t -> int
+(** Largest number of simultaneously undelivered messages (sent but not
+    yet popped, whether or not the destination survives to receive
+    them).  Deterministic, like {!queue_peak}. *)

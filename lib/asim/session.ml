@@ -14,11 +14,30 @@ type t = {
   patience : float;
   mutable clock : float;
   mutable timeouts : int;
+  (* Telemetry: per-primitive-label makespan histograms and timeout
+     tallies, plus kernel queue peaks folded in after each sub-session.
+     All of it is a pure function of the session's event streams, so the
+     monitor may export it under the byte-identity gates. *)
+  lat : (string, Telemetry.Histogram.t) Hashtbl.t;
+  lat_timeouts : (string, int) Hashtbl.t;
+  mutable queue_peak : int;
+  mutable inflight_peak : int;
 }
 
 let create ?(patience = 8.0) ~rng ~delay cfg =
   if patience <= 0.0 then invalid_arg "Session.create: patience must be positive";
-  { cfg; delay; rng; patience; clock = 0.0; timeouts = 0 }
+  {
+    cfg;
+    delay;
+    rng;
+    patience;
+    clock = 0.0;
+    timeouts = 0;
+    lat = Hashtbl.create 8;
+    lat_timeouts = Hashtbl.create 8;
+    queue_peak = 0;
+    inflight_peak = 0;
+  }
 
 let config t = t.cfg
 let delay t = t.delay
@@ -29,10 +48,54 @@ let rng_cursor t = Rng.save t.rng
 let timeout t = t.patience *. Delay.mean t.delay
 
 (* Session bookkeeping shared by every primitive: add the sub-session's
-   makespan to the running virtual clock, count deadline hits. *)
-let account t ~makespan ~timed_out =
+   makespan to the running virtual clock, count deadline hits, and record
+   the makespan into the label's latency histogram. *)
+let account t ~label ~makespan ~timed_out =
   t.clock <- t.clock +. makespan;
-  if timed_out then t.timeouts <- t.timeouts + 1
+  let h =
+    match Hashtbl.find_opt t.lat label with
+    | Some h -> h
+    | None ->
+      let h = Telemetry.Histogram.create () in
+      Hashtbl.replace t.lat label h;
+      h
+  in
+  Telemetry.Histogram.add h makespan;
+  if timed_out then begin
+    t.timeouts <- t.timeouts + 1;
+    let c =
+      match Hashtbl.find_opt t.lat_timeouts label with Some c -> c | None -> 0
+    in
+    Hashtbl.replace t.lat_timeouts label (c + 1)
+  end
+
+(* Fold a finished sub-session kernel's queue peaks into the session. *)
+let absorb_net t net =
+  if Anet.queue_peak net > t.queue_peak then t.queue_peak <- Anet.queue_peak net;
+  if Anet.inflight_peak net > t.inflight_peak then
+    t.inflight_peak <- Anet.inflight_peak net
+
+let latency_labels t =
+  Hashtbl.fold (fun l _ acc -> l :: acc) t.lat [] |> List.sort compare
+
+let latency t ~label = Hashtbl.find_opt t.lat label
+
+let timeouts_for t ~label =
+  match Hashtbl.find_opt t.lat_timeouts label with Some c -> c | None -> 0
+
+let latency_all t =
+  Hashtbl.fold
+    (fun _ h acc -> Telemetry.Histogram.merge acc h)
+    t.lat
+    (Telemetry.Histogram.create ())
+
+let latency_p99 t =
+  let all = latency_all t in
+  if Telemetry.Histogram.count all = 0 then 0.0
+  else Telemetry.Histogram.percentile all 99.0
+
+let queue_peak t = t.queue_peak
+let inflight_peak t = t.inflight_peak
 
 let span_time t = int_of_float t.clock
 
@@ -140,7 +203,8 @@ let valchan_session t ~src_cluster ~dst_cluster ~label ~payload =
       0.0 decided
   in
   let result = Valchan.summarise (List.map (fun (id, (v, _)) -> (id, v)) decided) in
-  account t ~makespan ~timed_out;
+  absorb_net t net;
+  account t ~label ~makespan ~timed_out;
   (result, makespan)
 
 let transmit t ~src_cluster ~dst_cluster ?(label = "valchan") ~payload () =
@@ -249,7 +313,8 @@ let randnum_session t ~cluster ~range =
             acc members)
         0.0 included
   in
-  account t ~makespan ~timed_out:stalled;
+  absorb_net t net;
+  account t ~label:"randnum" ~makespan ~timed_out:stalled;
   let outcome =
     if not secure then { Randnum.value = 0; secure; stalled; participants }
     else begin

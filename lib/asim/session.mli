@@ -57,6 +57,44 @@ val rng_cursor : t -> int64
 (** The delay stream's saved state — folded into the flight recorder's
     [rng] digest so mis-seeded delay streams are bisectable. *)
 
+(** {2 Latency telemetry}
+
+    Every sub-session's makespan is additionally recorded into a
+    {!Telemetry.Histogram} keyed by the primitive's trace label
+    (["valchan"], ["randnum"], ["walk.token"], ["exchange.announce"],
+    ...), with deadline hits tallied per label and each sub-session
+    kernel's queue peaks folded into session-wide maxima.  All of it is
+    a pure function of the session's deterministic event streams —
+    reading it draws no randomness and mutates nothing, so the monitor
+    exports it under the byte-identical-for-any-[-j] gates. *)
+
+val latency_labels : t -> string list
+(** Sorted labels with at least one recorded makespan. *)
+
+val latency : t -> label:string -> Telemetry.Histogram.t option
+(** The label's makespan histogram ([None] before its first
+    sub-session).  The returned histogram is live — read, don't
+    mutate. *)
+
+val latency_all : t -> Telemetry.Histogram.t
+(** A fresh merge of every label's histogram: the session-wide makespan
+    distribution. *)
+
+val latency_p99 : t -> float
+(** 99th-percentile sub-session makespan across all labels ([0.] before
+    any sub-session ran — the value scenario stat lines print as
+    [lat_p99=]). *)
+
+val timeouts_for : t -> label:string -> int
+(** Deadline hits recorded under [label] (sums to {!timeouts}). *)
+
+val queue_peak : t -> int
+(** Largest {!Anet} event-queue length across all sub-sessions. *)
+
+val inflight_peak : t -> int
+(** Largest simultaneous undelivered-message count across all
+    sub-sessions. *)
+
 val transmit :
   t -> src_cluster:int -> dst_cluster:int -> ?label:string -> payload:int ->
   unit -> Cluster.Valchan.result * float

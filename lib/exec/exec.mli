@@ -62,3 +62,47 @@ val par_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 
 val par_iter : ?jobs:int -> ('a -> unit) -> 'a list -> unit
 (** [par_iter ?jobs f xs] is [ignore (par_map ?jobs f xs)]. *)
+
+(** {2 Pool introspection}
+
+    Lifetime counters over every {!par_map} call since start-up (or the
+    last {!reset_stats}).  The integer counters describe scheduling
+    decisions; [workers_spawned], [budget_denials], [caller_tasks],
+    [worker_tasks] and both wall-clock fields are {e non-deterministic}
+    (they depend on which domain won which task and on real time) and are
+    excluded from every gated byte — only the opt-in [--exec-stats] CLI
+    flags print them.  [par_calls] and [tasks] are deterministic for a
+    fixed workload. *)
+
+type stats = {
+  par_calls : int;  (** {!par_map}/{!par_iter} calls (deterministic) *)
+  tasks : int;  (** tasks executed across all calls (deterministic) *)
+  caller_tasks : int;
+      (** tasks the calling domain chipped in on (non-deterministic) *)
+  worker_tasks : int array;
+      (** tasks per worker rank: element [r] counts tasks run by the
+          [r]-th worker spawned by a call, summed over calls; trailing
+          all-zero ranks are trimmed (non-deterministic) *)
+  workers_spawned : int;  (** worker domains spawned (non-deterministic) *)
+  budget_denials : int;
+      (** spawn attempts the global domain budget refused, forcing the
+          caller to run tasks itself (non-deterministic) *)
+  queue_wait_s : float;
+      (** wall-clock seconds from a call's entry to each task's start,
+          summed over tasks — serialized-backlog time
+          (non-deterministic) *)
+  merge_stall_s : float;
+      (** wall-clock seconds the caller spent joining straggling workers
+          after draining the task queue — submission-order merge stall
+          (non-deterministic) *)
+}
+(** A snapshot of the pool counters. *)
+
+val stats : unit -> stats
+(** Read the counters (thread-safe snapshot; the wall-clock pair is read
+    under its mutex, the atomics individually — a concurrent in-flight
+    par_map may straddle the snapshot). *)
+
+val reset_stats : unit -> unit
+(** Zero all counters.  Call only between [par_map] calls (the CLIs reset
+    once before their run; tests reset between cases). *)

@@ -29,7 +29,7 @@ let dump_ring ~id () =
         | Trace.Open { name; layer; time; attrs } ->
           Printf.eprintf "  open  t=%d %s:%s%s\n" time
             (Trace.layer_name layer) name (attrs_text attrs)
-        | Trace.Close { messages; rounds } ->
+        | Trace.Close { messages; rounds; alloc = _ } ->
           Printf.eprintf "  close messages=%d rounds=%d\n" messages rounds
         | Trace.Point { name; layer; time; attrs } ->
           Printf.eprintf "  point t=%d %s:%s%s\n" time

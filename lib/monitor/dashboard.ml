@@ -208,6 +208,112 @@ let chart buf card =
   bpf "</svg>\n"
 
 (* ------------------------------------------------------------------ *)
+(* Session waterfall                                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The asynchronous engine's per-primitive latency pane: the latest
+   [asim.lat.*] sample per primitive label, drawn as nested horizontal
+   bars (max underneath, p99/p90/p50 on top) on one shared scale.  The
+   pane renders only when a run recorded latency telemetry, so every
+   document from a run without it keeps its historical bytes. *)
+
+let lat_index series =
+  match series with
+  | "asim.lat.p50" -> Some 0
+  | "asim.lat.p90" -> Some 1
+  | "asim.lat.p99" -> Some 2
+  | "asim.lat.max" -> Some 3
+  | "asim.lat.timeouts" -> Some 4
+  | _ -> None
+
+let waterfall_rows cards =
+  let rows = ref [] in
+  List.iter
+    (fun card ->
+      match lat_index card.c_series with
+      | None -> ()
+      | Some idx -> (
+        match List.assoc_opt "primitive" card.c_labels with
+        | None -> ()
+        | Some prim ->
+          let rest =
+            List.filter (fun (k, _) -> k <> "primitive") card.c_labels
+          in
+          let key = (rest, prim) in
+          let last =
+            match List.rev card.points with (_, v) :: _ -> v | [] -> 0.0
+          in
+          let cell =
+            match List.assoc_opt key !rows with
+            | Some c -> c
+            | None ->
+              let c = Array.make 5 0.0 in
+              rows := (key, c) :: !rows;
+              c
+          in
+          cell.(idx) <- last))
+    cards;
+  List.sort compare !rows
+
+let waterfall_html buf rows =
+  let bpf fmt = Printf.bprintf buf fmt in
+  let scale =
+    List.fold_left (fun acc (_, c) -> Float.max acc c.(3)) 0.0 rows
+  in
+  let scale = if scale > 0.0 then scale else 1.0 in
+  let row_h = 30.0 and label_w = 150.0 and bar_w = 360.0 in
+  let height = (row_h *. float_of_int (List.length rows)) +. 22.0 in
+  bpf "<section class=\"card wf\">\n<header>\n<div>\n<h3>session waterfall</h3>\n";
+  bpf
+    "<p class=\"desc\">latest per-primitive sub-session makespans \
+     (p50/p90/p99 over max, shared scale)</p>\n";
+  bpf "</div>\n</header>\n";
+  bpf
+    "<svg viewBox=\"0 0 560 %.0f\" role=\"img\" aria-label=\"per-primitive \
+     latency waterfall\">\n"
+    height;
+  List.iteri
+    (fun i ((labels, prim), c) ->
+      let y = row_h *. float_of_int i in
+      let w v = bar_w *. (v /. scale) in
+      bpf "<text class=\"wf-name\" x=\"0\" y=\"%.2f\">%s</text>\n" (y +. 14.0)
+        (html_escape prim);
+      if labels <> [] then
+        bpf "<text class=\"wf-sub\" x=\"0\" y=\"%.2f\">%s</text>\n" (y +. 25.0)
+          (html_escape (labels_text labels));
+      let bar cls v =
+        if v > 0.0 then
+          bpf
+            "<rect class=\"%s\" x=\"%.2f\" y=\"%.2f\" width=\"%.2f\" \
+             height=\"14\"><title>%s %s: %s</title></rect>\n"
+            cls label_w (y +. 4.0) (w v) cls (html_escape prim)
+            (html_escape (full v))
+      in
+      bar "wf-max" c.(3);
+      bar "wf-p99" c.(2);
+      bar "wf-p90" c.(1);
+      bar "wf-p50" c.(0);
+      bpf "<text class=\"wf-val\" x=\"%.2f\" y=\"%.2f\">max %s</text>\n"
+        (label_w +. w c.(3) +. 6.0)
+        (y +. 15.0)
+        (html_escape (short c.(3)));
+      if c.(4) > 0.0 then
+        bpf
+          "<text class=\"wf-timeout\" x=\"%.2f\" y=\"%.2f\">&#9888; %.0f \
+           timeouts</text>\n"
+          (label_w +. 2.0) (y +. 27.0) c.(4))
+    rows;
+  bpf
+    "<text class=\"tick\" x=\"%.2f\" y=\"%.2f\">0</text>\n\
+     <text class=\"tick\" x=\"%.2f\" y=\"%.2f\" text-anchor=\"end\">%s delay \
+     units</text>\n"
+    label_w (height -. 6.0)
+    (label_w +. bar_w)
+    (height -. 6.0)
+    (html_escape (short scale));
+  bpf "</svg>\n</section>\n"
+
+(* ------------------------------------------------------------------ *)
 (* Cards and page                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -346,6 +452,16 @@ th { color: var(--ink-2); font-weight: 600; }
 .viol-table details.blame ul { margin: 4px 0 0; padding-left: 16px;
   font-size: 11px; color: var(--ink-2); font-variant-numeric: tabular-nums; }
 .ok-line { color: var(--good); }
+.card.wf { margin-bottom: 14px; }
+.wf-name { fill: var(--ink); font-size: 12px; font-weight: 600; }
+.wf-sub { fill: var(--muted); font-size: 10px; }
+.wf-val { fill: var(--ink-2); font-size: 10px;
+  font-variant-numeric: tabular-nums; }
+.wf-timeout { fill: var(--critical); font-size: 10px; font-weight: 600; }
+.wf-max { fill: var(--grid); }
+.wf-p99 { fill: var(--series-1); fill-opacity: 0.35; }
+.wf-p90 { fill: var(--series-1); fill-opacity: 0.6; }
+.wf-p50 { fill: var(--series-1); }
 |css}
 
 let render ?(title = "nowlib invariant monitor") store =
@@ -421,6 +537,11 @@ let render ?(title = "nowlib invariant monitor") store =
       violations;
     bpf "</table>\n"
   end;
+  (match waterfall_rows cards with
+  | [] -> ()
+  | rows ->
+    bpf "<h2>Session latency</h2>\n";
+    waterfall_html buf rows);
   bpf "<h2>Series</h2>\n";
   if cards = [] then bpf "<p class=\"meta\">no samples recorded.</p>\n"
   else begin

@@ -3,6 +3,13 @@ let honest_bound = 2.0 /. 3.0
 let series =
   [
     ("asim.clock", Store.Gauge, "async engine virtual time (delay units)");
+    ("asim.lat.max", Store.Gauge, "largest sub-session makespan per primitive");
+    ("asim.lat.p50", Store.Gauge, "median sub-session makespan per primitive");
+    ("asim.lat.p90", Store.Gauge, "p90 sub-session makespan per primitive");
+    ("asim.lat.p99", Store.Gauge, "p99 sub-session makespan per primitive");
+    ("asim.lat.timeouts", Store.Gauge, "deadline hits per primitive label");
+    ("asim.queue.depth.peak", Store.Gauge, "peak event-queue length (async kernel)");
+    ("asim.queue.inflight.peak", Store.Gauge, "peak undelivered messages (async kernel)");
     ("asim.timeouts", Store.Counter, "async sessions that hit their deadline");
     ("cluster.count", Store.Gauge, "live clusters in the system");
     ("cluster.honest_frac.bound", Store.Gauge, "Theorem 3 floor: > 2/3 honest");

@@ -193,7 +193,32 @@ let sample t ~time =
   Monitor.maybe_gauge ~series:"asim.clock" ~labels:(labels t) ~time
     (Session.clock t.session);
   Monitor.maybe_gauge ~series:"asim.timeouts" ~labels:(labels t) ~time
-    (float_of_int (Session.timeouts t.session))
+    (float_of_int (Session.timeouts t.session));
+  (* Latency telemetry: one gauge per percentile per primitive label.
+     Everything here is a pure read of the session's deterministic
+     histograms (zero-perturbation), and labels are emitted in sorted
+     order so the sample stream is a pure function of the trajectory. *)
+  List.iter
+    (fun lbl ->
+      match Session.latency t.session ~label:lbl with
+      | None -> ()
+      | Some h ->
+        let labels = ("primitive", lbl) :: labels t in
+        let gauge series v =
+          Monitor.maybe_gauge ~series ~labels ~time v
+        in
+        gauge "asim.lat.p50" (Telemetry.Histogram.percentile h 50.0);
+        gauge "asim.lat.p90" (Telemetry.Histogram.percentile h 90.0);
+        gauge "asim.lat.p99" (Telemetry.Histogram.percentile h 99.0);
+        gauge "asim.lat.max" (Telemetry.Histogram.max_value h);
+        gauge "asim.lat.timeouts"
+          (float_of_int (Session.timeouts_for t.session ~label:lbl)))
+    (Session.latency_labels t.session);
+  Monitor.maybe_gauge ~series:"asim.queue.depth.peak" ~labels:(labels t) ~time
+    (float_of_int (Session.queue_peak t.session));
+  Monitor.maybe_gauge ~series:"asim.queue.inflight.peak" ~labels:(labels t)
+    ~time
+    (float_of_int (Session.inflight_peak t.session))
 
 let stats t =
   let base = Msg_driver.stats t.inner in
@@ -212,4 +237,5 @@ let stats t =
     exchanges = t.exchanges;
     virtual_time = Session.clock t.session;
     session_timeouts = Session.timeouts t.session;
+    lat_p99 = Session.latency_p99 t.session;
   }

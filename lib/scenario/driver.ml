@@ -29,6 +29,7 @@ module Stats = struct
     rounds : int;
     virtual_time : float;
     session_timeouts : int;
+    lat_p99 : float;
   }
 
   let zero =
@@ -62,6 +63,7 @@ module Stats = struct
       rounds = 0;
       virtual_time = 0.0;
       session_timeouts = 0;
+      lat_p99 = 0.0;
     }
 
   let summary s =
@@ -77,7 +79,9 @@ module Stats = struct
     (* Virtual time only exists on the asynchronous engine; synchronous
        summaries keep their historical byte-exact shape. *)
     if s.virtual_time = 0.0 && s.session_timeouts = 0 then base
-    else Printf.sprintf "%s vt=%.3f timeouts=%d" base s.virtual_time s.session_timeouts
+    else
+      Printf.sprintf "%s vt=%.3f timeouts=%d lat_p99=%.3f" base s.virtual_time
+        s.session_timeouts s.lat_p99
 end
 
 module type S = sig

@@ -52,6 +52,10 @@ module Stats : sig
     session_timeouts : int;
         (** asynchronous sub-sessions that hit their deadline instead of
             completing early *)
+    lat_p99 : float;
+        (** 99th-percentile sub-session makespan (asynchronous engine
+            only; estimated by {!Telemetry.Histogram}, 0 on the
+            synchronous drivers) *)
   }
   (** Everything a finished trajectory reports.  Drivers fill the fields
       that apply to their engine and leave the rest at {!zero}'s

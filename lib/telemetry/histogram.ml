@@ -1,0 +1,102 @@
+(* Log-bucketed histogram.  The load-bearing choices:
+
+   - the edge table is built once, by repeated multiplication from
+     [bucket_lo] with ratio 2^(1/4) (sqrt of sqrt — IEEE sqrt is
+     correctly rounded, so the table is bit-identical on every host);
+     indexing is a binary search over that table, never a [log] call
+     whose libm rounding could vary;
+   - recording is integer counter bumps plus an exact running
+     count/sum/max, so the state is a pure function of the multiset of
+     observations — order- and scheduling-independent;
+   - percentile estimates return a bucket's upper edge clamped to the
+     exact max, which keeps zero (the zero-delay async run) and the
+     distribution's maximum exact while bounding every other estimate
+     within one bucket ratio of the truth. *)
+
+let growth = sqrt (sqrt 2.0)
+let bucket_lo = 1e-9
+let n_buckets = 512
+
+(* edges.(i) is the upper edge of bucket i; bucket 0 is (-inf, bucket_lo],
+   bucket i > 0 is (edges.(i-1), edges.(i)].  The top edge is ~2.4e29, far
+   beyond any virtual-time makespan; larger values clamp into the top
+   bucket (the exact max is tracked separately). *)
+let edges =
+  let e = Array.make n_buckets bucket_lo in
+  for i = 1 to n_buckets - 1 do
+    e.(i) <- e.(i - 1) *. growth
+  done;
+  e
+
+type t = {
+  counts : int array;
+  mutable n : int;
+  mutable total : float;
+  mutable vmax : float;  (* meaningful only when n > 0 *)
+}
+
+let create () =
+  { counts = Array.make n_buckets 0; n = 0; total = 0.0; vmax = neg_infinity }
+
+(* Smallest i with v <= edges.(i), or the top bucket when v exceeds every
+   edge.  NaN compares false everywhere, so it falls through the search
+   into bucket [hi]; the explicit guard routes it (and negatives) to
+   bucket 0 instead. *)
+let bucket_of v =
+  if not (v > bucket_lo) then 0
+  else begin
+    let lo = ref 0 and hi = ref (n_buckets - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= edges.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+  end
+
+let add t v =
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.n <- t.n + 1;
+  t.total <- t.total +. v;
+  if v > t.vmax then t.vmax <- v
+
+let count t = t.n
+let sum t = t.total
+let max_value t = if t.n = 0 then nan else t.vmax
+let mean t = if t.n = 0 then nan else t.total /. float_of_int t.n
+
+let percentile t p =
+  if not (p >= 0.0 && p <= 100.0) then
+    invalid_arg "Telemetry.Histogram.percentile: p must be within [0, 100]";
+  if t.n = 0 then nan
+  else begin
+    (* Nearest rank: the k-th smallest observation, k in [1, n]. *)
+    let k =
+      let r = int_of_float (ceil (p /. 100.0 *. float_of_int t.n)) in
+      if r < 1 then 1 else if r > t.n then t.n else r
+    in
+    let rec find b acc =
+      let acc = acc + t.counts.(b) in
+      if acc >= k then b else find (b + 1) acc
+    in
+    let b = find 0 0 in
+    Float.min edges.(b) t.vmax
+  end
+
+let merge a b =
+  let m = create () in
+  Array.blit a.counts 0 m.counts 0 n_buckets;
+  Array.iteri (fun i c -> m.counts.(i) <- m.counts.(i) + c) b.counts;
+  m.n <- a.n + b.n;
+  m.total <- a.total +. b.total;
+  m.vmax <- Float.max a.vmax b.vmax;
+  m
+
+let buckets t =
+  let out = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then
+      let lower = if i = 0 then 0.0 else edges.(i - 1) in
+      out := (lower, edges.(i), t.counts.(i)) :: !out
+  done;
+  !out

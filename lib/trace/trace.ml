@@ -16,7 +16,7 @@ let layer_name = function Net -> "net" | Msg -> "msg" | State -> "state"
 
 type event =
   | Open of { name : string; layer : layer; time : int; attrs : (string * int) list }
-  | Close of { messages : int; rounds : int }
+  | Close of { messages : int; rounds : int; alloc : int }
   | Point of { name : string; layer : layer; time : int; attrs : (string * int) list }
 
 (* ------------------------------------------------------------------ *)
@@ -35,7 +35,7 @@ type buf = {
   mutable ring_n : int;  (* total events ever pushed to this buffer *)
 }
 
-let dummy_event = Close { messages = 0; rounds = 0 }
+let dummy_event = Close { messages = 0; rounds = 0; alloc = 0 }
 
 let ring_capacity = 256
 
@@ -58,6 +58,13 @@ let on = Atomic.make false
 let cap_limit = ref (1 lsl 20)
 
 let detail = ref false
+
+(* GC/allocation accounting is opt-in (--profile-alloc): when off, every
+   Close carries alloc = 0 and the serialisers omit the alloc keys, so an
+   unprofiled trace's bytes are unchanged.  Caller-domain allocation is
+   measured with Gc.allocated_bytes deltas — domain-local, so a span's
+   delta is exactly what the span's own code allocated. *)
+let alloc_on = ref false
 
 let root : buf option ref = ref None
 
@@ -102,12 +109,13 @@ let recent () =
 (* Lifecycle                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let start ?(capacity = 1 lsl 20) ?(net_detail = false) () =
+let start ?(capacity = 1 lsl 20) ?(net_detail = false) ?(profile_alloc = false) () =
   if Atomic.get on then invalid_arg "Trace.start: a collector is already active";
   if capacity < 1 then invalid_arg "Trace.start: capacity must be positive";
   let b = new_buf ~cur_time:0 () in
   cap_limit := capacity;
   detail := net_detail;
+  alloc_on := profile_alloc;
   root := Some b;
   Domain.DLS.set key (Some b);
   Atomic.set on true
@@ -121,6 +129,7 @@ let stop () =
   root := None;
   Domain.DLS.set key None;
   detail := false;
+  alloc_on := false;
   let events = Array.to_list (Array.sub b.evs 0 b.len) in
   { events; dropped = b.dropped }
 
@@ -146,6 +155,7 @@ let with_span ?(attrs = []) ?ledger ?time layer name f =
       let saved_time = b.cur_time in
       b.cur_time <- time;
       let snap = Option.map Metrics.Ledger.snapshot ledger in
+      let alloc0 = if !alloc_on then Gc.allocated_bytes () else 0.0 in
       push b (Open { name; layer; time; attrs });
       let close () =
         let messages, rounds =
@@ -155,7 +165,11 @@ let with_span ?(attrs = []) ?ledger ?time layer name f =
             (d.Metrics.Ledger.messages, d.Metrics.Ledger.rounds)
           | _ -> (0, 0)
         in
-        push b (Close { messages; rounds });
+        let alloc =
+          if !alloc_on then int_of_float (Gc.allocated_bytes () -. alloc0)
+          else 0
+        in
+        push b (Close { messages; rounds; alloc });
         b.cur_time <- saved_time
       in
       (match f () with
@@ -210,8 +224,10 @@ type span = {
   end_seq : int;
   messages : int;
   rounds : int;
+  alloc : int;
   self_messages : int;
   self_rounds : int;
+  self_alloc : int;
 }
 
 type item =
@@ -234,16 +250,18 @@ type partial = {
   p_attrs : (string * int) list;
   mutable p_child_messages : int;
   mutable p_child_rounds : int;
+  mutable p_child_alloc : int;
 }
 
 let items dump =
   let out = ref [] in
   let stack = ref [] in
-  let close_span p ~seq ~end_seq ~messages ~rounds =
+  let close_span p ~seq ~end_seq ~messages ~rounds ~alloc =
     (match !stack with
     | parent :: _ ->
       parent.p_child_messages <- parent.p_child_messages + messages;
-      parent.p_child_rounds <- parent.p_child_rounds + rounds
+      parent.p_child_rounds <- parent.p_child_rounds + rounds;
+      parent.p_child_alloc <- parent.p_child_alloc + alloc
     | [] -> ());
     ignore seq;
     out :=
@@ -258,8 +276,10 @@ let items dump =
           end_seq;
           messages;
           rounds;
+          alloc;
           self_messages = messages - p.p_child_messages;
           self_rounds = rounds - p.p_child_rounds;
+          self_alloc = alloc - p.p_child_alloc;
         }
       :: !out
   in
@@ -278,14 +298,15 @@ let items dump =
             p_attrs = attrs;
             p_child_messages = 0;
             p_child_rounds = 0;
+            p_child_alloc = 0;
           }
           :: !stack
-      | Close { messages; rounds } ->
+      | Close { messages; rounds; alloc } ->
         (match !stack with
         | [] -> () (* unmatched close: dropped *)
         | p :: rest ->
           stack := rest;
-          close_span p ~seq:!seq ~end_seq:(!seq + 1) ~messages ~rounds)
+          close_span p ~seq:!seq ~end_seq:(!seq + 1) ~messages ~rounds ~alloc)
       | Point { name; layer; time; attrs } ->
         out :=
           Mark { seq = !seq; depth = List.length !stack; name; layer; time; attrs }
@@ -299,7 +320,7 @@ let items dump =
     | [] -> ()
     | p :: rest ->
       stack := rest;
-      close_span p ~seq:!seq ~end_seq:!seq ~messages:0 ~rounds:0;
+      close_span p ~seq:!seq ~end_seq:!seq ~messages:0 ~rounds:0 ~alloc:0;
       drain ()
   in
   drain ();
@@ -340,15 +361,29 @@ let to_jsonl dump =
     (fun item ->
       (match item with
       | Span s ->
-        Buffer.add_string b
-          (Printf.sprintf
-             "{\"attrs\":%s,\"depth\":%d,\"end\":%d,\"kind\":\"span\",\"layer\":%s,\
-              \"msgs\":%d,\"name\":%s,\"rounds\":%d,\"self_msgs\":%d,\
-              \"self_rounds\":%d,\"seq\":%d,\"time\":%d}"
-             (attrs_json s.attrs) s.depth s.end_seq
-             (json_string (layer_name s.layer))
-             s.messages (json_string s.name) s.rounds s.self_messages s.self_rounds
-             s.seq s.time)
+        (* The alloc keys appear only on profiled spans (alloc <> 0), so
+           unprofiled traces keep their historical bytes; keys stay in
+           sorted order either way. *)
+        if s.alloc = 0 && s.self_alloc = 0 then
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"attrs\":%s,\"depth\":%d,\"end\":%d,\"kind\":\"span\",\"layer\":%s,\
+                \"msgs\":%d,\"name\":%s,\"rounds\":%d,\"self_msgs\":%d,\
+                \"self_rounds\":%d,\"seq\":%d,\"time\":%d}"
+               (attrs_json s.attrs) s.depth s.end_seq
+               (json_string (layer_name s.layer))
+               s.messages (json_string s.name) s.rounds s.self_messages s.self_rounds
+               s.seq s.time)
+        else
+          Buffer.add_string b
+            (Printf.sprintf
+               "{\"alloc\":%d,\"attrs\":%s,\"depth\":%d,\"end\":%d,\"kind\":\"span\",\
+                \"layer\":%s,\"msgs\":%d,\"name\":%s,\"rounds\":%d,\"self_alloc\":%d,\
+                \"self_msgs\":%d,\"self_rounds\":%d,\"seq\":%d,\"time\":%d}"
+               s.alloc (attrs_json s.attrs) s.depth s.end_seq
+               (json_string (layer_name s.layer))
+               s.messages (json_string s.name) s.rounds s.self_alloc
+               s.self_messages s.self_rounds s.seq s.time)
       | Mark m ->
         Buffer.add_string b
           (Printf.sprintf
@@ -374,7 +409,8 @@ let to_chrome dump =
       match item with
       | Span s ->
         let args =
-          ("msgs", s.messages) :: ("rounds", s.rounds) :: ("time", s.time) :: s.attrs
+          ("msgs", s.messages) :: ("rounds", s.rounds) :: ("time", s.time)
+          :: (if s.alloc = 0 then s.attrs else ("alloc", s.alloc) :: s.attrs)
         in
         Buffer.add_string b
           (Printf.sprintf
@@ -407,6 +443,8 @@ module Report = struct
     mutable rounds : int;
     mutable self_messages : int;
     mutable self_rounds : int;
+    mutable alloc : int;
+    mutable self_alloc : int;
     round_samples : Metrics.Histogram.Samples.t;
   }
 
@@ -431,6 +469,8 @@ module Report = struct
                   rounds = 0;
                   self_messages = 0;
                   self_rounds = 0;
+                  alloc = 0;
+                  self_alloc = 0;
                   round_samples = Metrics.Histogram.Samples.create ();
                 }
               in
@@ -442,6 +482,8 @@ module Report = struct
           agg.rounds <- agg.rounds + s.rounds;
           agg.self_messages <- agg.self_messages + s.self_messages;
           agg.self_rounds <- agg.self_rounds + s.self_rounds;
+          agg.alloc <- agg.alloc + s.alloc;
+          agg.self_alloc <- agg.self_alloc + s.self_alloc;
           Metrics.Histogram.Samples.add_int agg.round_samples s.rounds)
       (items dump);
     { by_primitive; points = !points }
@@ -462,29 +504,42 @@ module Report = struct
     if Metrics.Histogram.Samples.count a.round_samples = 0 then 0.0
     else Metrics.Histogram.Samples.percentile a.round_samples p
 
+  (* The alloc columns render only when some span carried an allocation
+     delta (a --profile-alloc run): unprofiled reports keep their
+     historical column set and bytes. *)
+  let has_alloc t =
+    Hashtbl.fold (fun _ a acc -> acc || a.alloc <> 0 || a.self_alloc <> 0)
+      t.by_primitive false
+
   let table t =
+    let with_alloc = has_alloc t in
     let table =
       Metrics.Table.create ~title:"per-primitive profile (by self messages)"
         ~columns:
-          [
-            "primitive"; "layer"; "spans"; "msgs"; "self msgs"; "rounds";
-            "self rounds"; "p50 rounds"; "p95 rounds";
-          ]
+          ([
+             "primitive"; "layer"; "spans"; "msgs"; "self msgs"; "rounds";
+             "self rounds"; "p50 rounds"; "p95 rounds";
+           ]
+          @ if with_alloc then [ "alloc B"; "self alloc B" ] else [])
     in
     List.iter
       (fun ((layer, name), a) ->
         Metrics.Table.add_row table
-          [
-            Metrics.Table.S name;
-            Metrics.Table.S (layer_name layer);
-            Metrics.Table.I a.spans;
-            Metrics.Table.I a.messages;
-            Metrics.Table.I a.self_messages;
-            Metrics.Table.I a.rounds;
-            Metrics.Table.I a.self_rounds;
-            Metrics.Table.F2 (round_percentile a 50.0);
-            Metrics.Table.F2 (round_percentile a 95.0);
-          ])
+          ([
+             Metrics.Table.S name;
+             Metrics.Table.S (layer_name layer);
+             Metrics.Table.I a.spans;
+             Metrics.Table.I a.messages;
+             Metrics.Table.I a.self_messages;
+             Metrics.Table.I a.rounds;
+             Metrics.Table.I a.self_rounds;
+             Metrics.Table.F2 (round_percentile a 50.0);
+             Metrics.Table.F2 (round_percentile a 95.0);
+           ]
+          @
+          if with_alloc then
+            [ Metrics.Table.I a.alloc; Metrics.Table.I a.self_alloc ]
+          else []))
       (ranked t);
     table
 
@@ -522,8 +577,8 @@ module Report = struct
     Buffer.contents b
 end
 
-let profiled ?capacity ?net_detail f =
-  start ?capacity ?net_detail ();
+let profiled ?capacity ?net_detail ?profile_alloc f =
+  start ?capacity ?net_detail ?profile_alloc ();
   match f () with
   | v -> (v, stop ())
   | exception e ->

@@ -33,9 +33,11 @@ type event =
   | Open of { name : string; layer : layer; time : int; attrs : (string * int) list }
       (** A span begins.  [time] is the layer's logical clock (engine time
           step, ledger round count, kernel round). *)
-  | Close of { messages : int; rounds : int }
+  | Close of { messages : int; rounds : int; alloc : int }
       (** The innermost open span ends; [messages]/[rounds] are the ledger
-          delta across the span (0 when no ledger was supplied). *)
+          delta across the span (0 when no ledger was supplied), [alloc]
+          the caller-domain [Gc.allocated_bytes] delta (0 unless the
+          collector was started with [~profile_alloc:true]). *)
   | Point of { name : string; layer : layer; time : int; attrs : (string * int) list }
       (** An instantaneous happening inside the current span. *)
 
@@ -43,13 +45,19 @@ type event =
 (* Collector lifecycle                                                  *)
 (* ------------------------------------------------------------------ *)
 
-val start : ?capacity:int -> ?net_detail:bool -> unit -> unit
+val start : ?capacity:int -> ?net_detail:bool -> ?profile_alloc:bool -> unit -> unit
 (** Install the collector in the calling domain (the root buffer).
     [capacity] bounds the number of events each buffer retains (default
     [1 lsl 20]); past it, new events are counted as dropped instead of
     recorded.  [net_detail] additionally records one point per kernel
-    message and round boundary (voluminous; default [false]).  Raises
-    [Invalid_argument] if a collector is already active. *)
+    message and round boundary (voluminous; default [false]).
+    [profile_alloc] (default [false]) folds a [Gc.allocated_bytes] delta
+    into every span's [Close] — the allocation the span's own domain
+    performed while it was open; alloc figures are {e informational}
+    (allocation is not part of any byte-identity gate) and with the flag
+    off every [Close] carries [alloc = 0], leaving serialized traces
+    byte-identical to an unprofiled build.  Raises [Invalid_argument] if
+    a collector is already active. *)
 
 type dump = { events : event list; dropped : int }
 
@@ -132,8 +140,10 @@ type span = {
   end_seq : int;  (** position just past the span's [Close] *)
   messages : int;  (** ledger delta across the whole span *)
   rounds : int;
+  alloc : int;  (** allocation delta across the span (0 unless profiled) *)
   self_messages : int;  (** [messages] minus the direct children's share *)
   self_rounds : int;
+  self_alloc : int;  (** [alloc] minus the direct children's share *)
 }
 
 type item =
@@ -156,7 +166,9 @@ val items : dump -> item list
 val to_jsonl : dump -> string
 (** One JSON object per {!item}, one per line, in stream order; object
     keys and attribute keys are emitted in sorted order so the bytes are a
-    pure function of the event stream. *)
+    pure function of the event stream.  Spans carry [alloc]/[self_alloc]
+    keys only when non-zero, so unprofiled dumps serialize exactly as
+    before allocation accounting existed. *)
 
 val to_chrome : dump -> string
 (** Chrome [trace_event] JSON (open in Perfetto / chrome://tracing):
@@ -175,7 +187,9 @@ module Report : sig
   val table : t -> Metrics.Table.t
   (** Per-primitive breakdown, sorted by self-messages (descending, then
       name): spans, total and self messages/rounds, mean and p50/p95
-      span rounds. *)
+      span rounds.  When the dump was recorded under [~profile_alloc]
+      (some span carries a non-zero delta), two further columns report
+      total and self allocated bytes per primitive. *)
 
   val table_rows : t -> (string * int * int * int) list
   (** [(name, spans, self_messages, self_rounds)] in {!table} order —
@@ -186,6 +200,8 @@ module Report : sig
       the [top] primitives by self-messages (default 3). *)
 end
 
-val profiled : ?capacity:int -> ?net_detail:bool -> (unit -> 'a) -> 'a * dump
+val profiled :
+  ?capacity:int -> ?net_detail:bool -> ?profile_alloc:bool ->
+  (unit -> 'a) -> 'a * dump
 (** [profiled f] = {!start}, run [f], {!stop} (also stopping when [f]
     raises).  Convenience for benches and tests. *)

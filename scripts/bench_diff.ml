@@ -14,6 +14,11 @@
         scrolling the full report.
      2  format error (missing file, unparsable JSON, wrong format version)
 
+   Caller-domain allocation aggregates (alloc_bytes, present since the
+   telemetry layer landed) are compared in a purely informational band:
+   a big swing prints an ok-line suggesting a look, and never blocks —
+   allocation depends on GC pacing and inlining, not just the workload.
+
    The > 2.0x regression band is wide enough to absorb machine-to-machine
    variation, so CI treats exit 1 as blocking.  Speedups (ratio < 0.5)
    are reported informationally only — a faster run is a reason to
@@ -22,168 +27,10 @@
    deterministic fields gate. *)
 
 (* ------------------------------------------------------------------ *)
-(* A minimal JSON reader (objects, arrays, strings, numbers, booleans,
-   null) — just enough for the fixed shape bench/main.ml writes, with no
-   dependencies beyond the stdlib.                                      *)
-(* ------------------------------------------------------------------ *)
-
-type json =
-  | Obj of (string * json) list
-  | Arr of json list
-  | Str of string
-  | Num of float
-  | Bool of bool
-  | Null
-
-exception Parse_error of string
-
-let parse_json (s : string) : json =
-  let n = String.length s in
-  let pos = ref 0 in
-  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
-  let peek () = if !pos < n then Some s.[!pos] else None in
-  let advance () = incr pos in
-  let rec skip_ws () =
-    match peek () with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance ();
-      skip_ws ()
-    | _ -> ()
-  in
-  let expect c =
-    match peek () with
-    | Some c' when c' = c -> advance ()
-    | _ -> fail (Printf.sprintf "expected %C" c)
-  in
-  let literal word value =
-    let l = String.length word in
-    if !pos + l <= n && String.sub s !pos l = word then begin
-      pos := !pos + l;
-      value
-    end
-    else fail (Printf.sprintf "expected %s" word)
-  in
-  let parse_string () =
-    expect '"';
-    let buf = Buffer.create 16 in
-    let rec loop () =
-      if !pos >= n then fail "unterminated string";
-      let c = s.[!pos] in
-      advance ();
-      if c = '"' then Buffer.contents buf
-      else if c = '\\' then begin
-        if !pos >= n then fail "unterminated escape";
-        let e = s.[!pos] in
-        advance ();
-        (match e with
-        | '"' -> Buffer.add_char buf '"'
-        | '\\' -> Buffer.add_char buf '\\'
-        | '/' -> Buffer.add_char buf '/'
-        | 'n' -> Buffer.add_char buf '\n'
-        | 't' -> Buffer.add_char buf '\t'
-        | 'r' -> Buffer.add_char buf '\r'
-        | 'b' -> Buffer.add_char buf '\b'
-        | 'f' -> Buffer.add_char buf '\012'
-        | 'u' ->
-          if !pos + 4 > n then fail "truncated \\u escape";
-          let hex = String.sub s !pos 4 in
-          pos := !pos + 4;
-          (* The writer never emits non-ASCII; decode the BMP code point
-             naively as a byte when it fits, else a '?'. *)
-          let code =
-            try int_of_string ("0x" ^ hex) with _ -> fail "bad \\u escape"
-          in
-          Buffer.add_char buf (if code < 128 then Char.chr code else '?')
-        | _ -> fail "unknown escape");
-        loop ()
-      end
-      else begin
-        Buffer.add_char buf c;
-        loop ()
-      end
-    in
-    loop ()
-  in
-  let parse_number () =
-    let start = !pos in
-    let is_num_char c =
-      (c >= '0' && c <= '9')
-      || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
-    in
-    while !pos < n && is_num_char s.[!pos] do
-      advance ()
-    done;
-    let lit = String.sub s start (!pos - start) in
-    match float_of_string_opt lit with
-    | Some f -> Num f
-    | None -> fail (Printf.sprintf "bad number %S" lit)
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | Some '{' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some '}' then begin
-        advance ();
-        Obj []
-      end
-      else begin
-        let rec members acc =
-          skip_ws ();
-          let key = parse_string () in
-          skip_ws ();
-          expect ':';
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            members ((key, v) :: acc)
-          | Some '}' ->
-            advance ();
-            Obj (List.rev ((key, v) :: acc))
-          | _ -> fail "expected ',' or '}'"
-        in
-        members []
-      end
-    | Some '[' ->
-      advance ();
-      skip_ws ();
-      if peek () = Some ']' then begin
-        advance ();
-        Arr []
-      end
-      else begin
-        let rec elements acc =
-          let v = parse_value () in
-          skip_ws ();
-          match peek () with
-          | Some ',' ->
-            advance ();
-            elements (v :: acc)
-          | Some ']' ->
-            advance ();
-            Arr (List.rev (v :: acc))
-          | _ -> fail "expected ',' or ']'"
-        in
-        elements []
-      end
-    | Some '"' -> Str (parse_string ())
-    | Some 't' -> literal "true" (Bool true)
-    | Some 'f' -> literal "false" (Bool false)
-    | Some 'n' -> literal "null" Null
-    | Some _ -> parse_number ()
-    | None -> fail "unexpected end of input"
-  in
-  let v = parse_value () in
-  skip_ws ();
-  if !pos <> n then fail "trailing garbage";
-  v
-
-(* ------------------------------------------------------------------ *)
 (* Accessors                                                           *)
 (* ------------------------------------------------------------------ *)
+
+open Minijson
 
 let format_error fmt =
   Printf.ksprintf
@@ -205,6 +52,13 @@ let to_num name = function
   | _ -> format_error "field %S is not a number" name
 
 let num name j = to_num name (member name j)
+
+(* Optional numeric field: [None] when absent or non-numeric — used for
+   fields newer than some committed baselines (alloc_bytes). *)
+let num_opt name = function
+  | Obj fields -> (
+    match List.assoc_opt name fields with Some (Num f) -> Some f | _ -> None)
+  | _ -> None
 
 let load path =
   if not (Sys.file_exists path) then format_error "no such file: %s" path;
@@ -234,6 +88,8 @@ let wall_band_lo = 0.5
 let wall_band_hi = 2.0
 let wall_floor = 0.1 (* runs under 100 ms are all noise *)
 let float_tol = 1e-6
+let alloc_band = 2.0 (* informational only — never blocks *)
+let alloc_floor = 1e6 (* runs allocating under 1 MB are all noise *)
 
 (* (id, baseline wall, current wall) of every blocking timing regression,
    re-listed after the summary line on exit 1. *)
@@ -281,7 +137,17 @@ let compare_experiments base cur =
             (* A big speedup is baseline staleness, not a failure. *)
             info "%s: wall time %.3fs -> %.3fs (%.2fx speedup; baseline stale?)"
               id b_wall c_wall ratio
-        end)
+        end;
+        (match (num_opt "alloc_bytes" bx, num_opt "alloc_bytes" cx) with
+        | Some b_alloc, Some c_alloc
+          when b_alloc >= alloc_floor || c_alloc >= alloc_floor ->
+          let ratio = if b_alloc > 0.0 then c_alloc /. b_alloc else infinity in
+          if ratio > alloc_band || ratio < 1.0 /. alloc_band then
+            info
+              "%s: caller-domain alloc %.1f MB -> %.1f MB (%.2fx; \
+               informational, never blocks)"
+              id (b_alloc /. 1e6) (c_alloc /. 1e6) ratio
+        | _ -> ()))
     b;
   List.filter_map
     (fun (id, _) ->

@@ -1,7 +1,7 @@
 #!/bin/sh
 # Doc-coverage lint for the public interfaces of lib/adversary, lib/apps,
-# lib/asim, lib/audit, lib/cluster, lib/monitor, lib/scenario and
-# lib/simkernel:
+# lib/asim, lib/audit, lib/cluster, lib/monitor, lib/scenario,
+# lib/simkernel and lib/telemetry:
 # every .mli must open with a module-level
 # (** ... *) header, and every top-level `val`/`type`/`exception` item
 # must carry an odoc comment — either ending within the three lines above
@@ -52,7 +52,7 @@ check_file() {
     esac
 }
 
-for f in lib/adversary/*.mli lib/apps/*.mli lib/asim/*.mli lib/audit/*.mli lib/cluster/*.mli lib/monitor/*.mli lib/scenario/*.mli lib/simkernel/*.mli; do
+for f in lib/adversary/*.mli lib/apps/*.mli lib/asim/*.mli lib/audit/*.mli lib/cluster/*.mli lib/monitor/*.mli lib/scenario/*.mli lib/simkernel/*.mli lib/telemetry/*.mli; do
     check_file "$f"
 done
 

@@ -24,4 +24,5 @@ let () =
       ("snapshot-batch-workload", Test_snapshot.suite);
       ("properties", Test_properties.suite);
       ("harness", Test_harness.suite);
+      ("telemetry", Test_telemetry.suite);
     ]

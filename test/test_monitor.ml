@@ -335,7 +335,7 @@ let test_violations_carry_blame () =
                     attrs = [ ("cluster", 9) ] };
       Trace.Open { name = "exchange"; layer = Trace.Msg; time = 4;
                    attrs = [ ("cluster", 1) ] };
-      Trace.Close { messages = 0; rounds = 0 };
+      Trace.Close { messages = 0; rounds = 0; alloc = 0 };
       Trace.Point { name = "net.send"; layer = Trace.Net; time = 5; attrs = [] };
     ]
   in
