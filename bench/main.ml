@@ -1,5 +1,5 @@
 (* Benchmark harness: regenerates every table/figure reproduction (the
-   experiment suite E1-E14, F1-F2 and ablations A1-A2 of DESIGN.md) and runs one Bechamel
+   experiment suite E1-E15, F1-F2 and ablations A1-A2 of DESIGN.md) and runs one Bechamel
    micro-benchmark per experiment, measuring the protocol operation at the
    heart of that experiment.
 
@@ -16,7 +16,7 @@
      -j N          worker domains for the Exec pool (default: available
                    cores; -j 1 reproduces the sequential run — tables are
                    byte-identical either way)
-     IDS           experiment ids (default: all of E1..E14 F1 F2 A1 A2) *)
+     IDS           experiment ids (default: all of E1..E15 F1 F2 A1 A2) *)
 
 open Bechamel
 
@@ -246,7 +246,15 @@ let micro_tests () =
       (fun s ->
         ignore (Asim.Session.transmit s ~src_cluster:0 ~dst_cluster:1 ~payload:7 ()))
   in
-  [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; f1; f2; a1; a2 ]
+  (* E15: one system-wide sharded exchange epoch — the flat arena's scale
+     path (per-cluster plans over the Exec pool, sequential apply).
+     Swaps preserve cluster composition, so the fixture is stationary. *)
+  let e15 =
+    uniq_test ~name:"E15 sharded exchange epoch"
+      ~allocate:(fun () -> small_engine ())
+      (fun engine -> ignore (Engine.exchange_epoch engine))
+  in
+  [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14; e15; f1; f2; a1; a2 ]
 
 (* ------------------------------------------------------------------ *)
 (* Per-experiment primitive breakdown (trace collector)                 *)
@@ -320,6 +328,11 @@ let breakdown_ops =
             ~delay:(Asim.Delay.Uniform { mean = 1.0 }) cfg
         in
         ignore (Asim.Session.transmit s ~src_cluster:0 ~dst_cluster:1 ~payload:7 ()) );
+    ( "E15",
+      "exchange epoch",
+      fun () ->
+        let engine = small_engine () in
+        ignore (Engine.exchange_epoch engine) );
   ]
 
 let run_breakdown () =
@@ -412,8 +425,8 @@ let write_monitor_json ~path ~mode ~results ~timings store =
   List.iteri
     (fun i r ->
       let id = r.Harness.Common.id in
-      let wall, alloc =
-        try Hashtbl.find timings id with Not_found -> (0.0, 0.0)
+      let wall, alloc, _ =
+        try Hashtbl.find timings id with Not_found -> (0.0, 0.0, 0.0)
       in
       Buffer.add_string buf
         (Printf.sprintf
@@ -475,7 +488,9 @@ let write_monitor_json ~path ~mode ~results ~timings store =
 (* BENCH_history.jsonl: one appended line per --history run — the perf
    trajectory scripts/bench_report.ml renders.  Opt-in (a plain bench run
    never touches the file), and stamped with real time: the history file
-   is an operator log, not a gated artifact. *)
+   is an operator log, not a gated artifact.  peak_live_words (format 1,
+   optional field) carries the Gc-alarm footprint sample; like wall and
+   alloc it is rendered informationally and never compared. *)
 let append_history ~path ~mode ~results ~timings =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf
@@ -490,15 +505,15 @@ let append_history ~path ~mode ~results ~timings =
   List.iteri
     (fun i r ->
       let id = r.Harness.Common.id in
-      let wall, alloc =
-        try Hashtbl.find timings id with Not_found -> (0.0, 0.0)
+      let wall, alloc, live =
+        try Hashtbl.find timings id with Not_found -> (0.0, 0.0, 0.0)
       in
       Buffer.add_string buf
         (Printf.sprintf
            "%s{\"id\": %S, \"ok\": %b, \"wall_seconds\": %.3f, \
-            \"alloc_bytes\": %.0f}"
+            \"alloc_bytes\": %.0f, \"peak_live_words\": %.0f}"
            (if i = 0 then "" else ", ")
-           id r.Harness.Common.ok wall alloc))
+           id r.Harness.Common.ok wall alloc live))
     sorted;
   Buffer.add_string buf "]}\n";
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
@@ -557,22 +572,35 @@ let () =
      gate diffs these outputs across -j values. *)
   Printf.printf
     "NOW/OVER reproduction bench — experiments %s in %s mode\n\n%!"
-    (match ids with [] -> "E1..E14, F1, F2, A1, A2" | _ -> String.concat ", " ids)
+    (match ids with [] -> "E1..E15, F1, F2, A1, A2" | _ -> String.concat ", " ids)
     (if full then "FULL" else "QUICK");
   let timings = Hashtbl.create 32 in
   let timings_mu = Mutex.create () in
   (* Wall time plus the wrapping domain's allocation delta.  Experiments
      fan their cells out over the Exec pool, so the delta under-counts
      worker-domain allocation — it tracks the caller-side share, which is
-     stable enough to trend (and flagged informational in bench_diff). *)
+     stable enough to trend (and flagged informational in bench_diff).
+     Peak live words is sampled at major-collection boundaries (a Gc
+     alarm) plus one post-run full major — a process-wide footprint
+     measure, so concurrent experiments see each other's heap; like wall
+     and alloc it is informational only and never enters a gated byte. *)
   let wrap id f =
     let a0 = Gc.allocated_bytes () in
+    let peak = ref 0 in
+    let note () =
+      let lw = (Gc.quick_stat ()).Gc.live_words in
+      if lw > !peak then peak := lw
+    in
+    let alarm = Gc.create_alarm note in
     let t0 = Unix.gettimeofday () in
     let r = f () in
     let dt = Unix.gettimeofday () -. t0 in
+    Gc.delete_alarm alarm;
+    Gc.full_major ();
+    note ();
     let da = Gc.allocated_bytes () -. a0 in
     Mutex.lock timings_mu;
-    Hashtbl.replace timings id (dt, da);
+    Hashtbl.replace timings id (dt, da, float_of_int !peak);
     Mutex.unlock timings_mu;
     r
   in

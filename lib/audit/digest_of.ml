@@ -49,31 +49,27 @@ let ledger_of ledger =
 
 (* State-level engine ---------------------------------------------- *)
 
-let engine e =
-  let tbl = Engine.table e in
+let view (v : Now_core.View.t) =
   let table =
     table_of_clusters
-      (List.map
-         (fun cid -> (cid, Now_core.Cluster_table.members tbl cid))
-         (Now_core.Cluster_table.cluster_ids tbl))
+      (List.map (fun cid -> (cid, v.Now_core.View.members cid)) (v.Now_core.View.cluster_ids ()))
   in
-  let roster = Engine.roster e in
   let honesty =
     let h = ref Fnv.init in
-    for id = 0 to Node.Roster.total_allocated roster - 1 do
+    for id = 0 to v.Now_core.View.total_allocated () - 1 do
       let mark =
-        match Node.Roster.honesty roster id with
+        match v.Now_core.View.honesty id with
         | Node.Honest -> 0
         | Node.Byzantine -> 1
       in
-      let present = if Node.Roster.is_present roster id then 2 else 0 in
+      let present = if v.Now_core.View.is_present id then 2 else 0 in
       h := Fnv.int !h (mark lor present)
     done;
     !h
   in
-  let overlay = overlay_of_graph (Over.graph (Engine.overlay e)) in
-  let rng = rng_of_cursors (Engine.rng_cursors e) in
-  let ledger = ledger_of (Engine.ledger e) in
+  let overlay = overlay_of_graph (v.Now_core.View.graph ()) in
+  let rng = rng_of_cursors (v.Now_core.View.rng_cursors ()) in
+  let ledger = ledger_of (v.Now_core.View.ledger ()) in
   [
     ("honesty", honesty);
     ("ledger", ledger);
@@ -81,6 +77,8 @@ let engine e =
     ("rng", rng);
     ("table", table);
   ]
+
+let engine e = view (Engine.view e)
 
 (* Message-level configuration ------------------------------------- *)
 

@@ -26,9 +26,15 @@ val subsystems : string list
 (** The five subsystem names, sorted — the key order of {!engine} and
     {!config} results. *)
 
+val view : Now_core.View.t -> (string * int64) list
+(** [(subsystem, digest)] for any state-level engine through its
+    read-only {!Now_core.View} — the representation-blind path both
+    {!Now_core.Engine} (flat arena) and [Now_core.Engine_reference] (the
+    oracle) digest through, in {!subsystems} order. *)
+
 val engine : Now_core.Engine.t -> (string * int64) list
 (** [(subsystem, digest)] for the state-level engine, in {!subsystems}
-    order. *)
+    order ([view] of [Engine.view]). *)
 
 val config :
   ?extra_rng:(string * int64) list -> Cluster.Config.t -> (string * int64) list

@@ -1,0 +1,33 @@
+(* Growable bitfield over Bytes — the backing store for the roster's
+   honesty/presence flags and any other per-node boolean the flat-arena
+   engine keeps.  One bit per index; reads outside the written prefix
+   return false (the arrays grow zero-filled). *)
+
+type t = { mutable bits : Bytes.t }
+
+let create ?(capacity = 1024) () =
+  { bits = Bytes.make (max 1 ((capacity + 7) / 8)) '\000' }
+
+let ensure t i =
+  let need = (i / 8) + 1 in
+  let have = Bytes.length t.bits in
+  if need > have then begin
+    let bigger = Bytes.make (max need (2 * have)) '\000' in
+    Bytes.blit t.bits 0 bigger 0 have;
+    t.bits <- bigger
+  end
+
+let get t i =
+  if i < 0 then invalid_arg "Bitset: negative index";
+  let byte = i / 8 in
+  if byte >= Bytes.length t.bits then false
+  else Char.code (Bytes.unsafe_get t.bits byte) land (1 lsl (i mod 8)) <> 0
+
+let set t i v =
+  if i < 0 then invalid_arg "Bitset: negative index";
+  ensure t i;
+  let byte = i / 8 in
+  let cur = Char.code (Bytes.unsafe_get t.bits byte) in
+  let mask = 1 lsl (i mod 8) in
+  let next = if v then cur lor mask else cur land lnot mask in
+  Bytes.unsafe_set t.bits byte (Char.unsafe_chr next)

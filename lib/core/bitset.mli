@@ -1,0 +1,19 @@
+(** Growable bitfield over [Bytes].
+
+    Backing store for per-node boolean state in the flat-arena engine
+    (roster honesty and presence): one bit per index, an eighth of the
+    footprint of a [bool array] at the 10^6-node scales E15 runs.  The
+    store grows on demand and unwritten bits read as [false]. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Fresh all-false bitfield; [capacity] is a size hint in bits. *)
+
+val get : t -> int -> bool
+(** [get t i] is the bit at [i]; [false] beyond the written prefix.
+    Raises [Invalid_argument] on a negative index. *)
+
+val set : t -> int -> bool -> unit
+(** [set t i v] writes bit [i], growing the store as needed.  Raises
+    [Invalid_argument] on a negative index. *)

@@ -1,6 +1,31 @@
-module Rng = Prng.Rng
+(* Flat struct-of-arrays cluster table.
 
-type cluster = { cid : int; members_vec : Vec.t; mutable byz : int }
+   Same observable behaviour as {!Cluster_table_reference} (the original
+   record/hashtable representation, kept as the oracle), with every
+   per-cluster list replaced by an index range into one shared int arena
+   and every hashtable replaced by a flat array:
+
+     slab     : int array        all member segments, bump-allocated
+     off/len/cap/byz : int array per-cluster segment descriptors, by cid
+     id_pos   : int array        cid -> slot in the dense [ids] vector
+     node_pos : int array        node -> packed (cid, member index)
+
+   A cluster's members live at slab.[off .. off+len).  Segments grow by
+   copying to a fresh bump allocation (doubling capacity, like Vec); the
+   abandoned range is garbage until a compaction slides all live segments
+   down in cid order.  Both policies depend only on the logical operation
+   history, so layout — and everything downstream of it — stays
+   deterministic.
+
+   Byte-identity with the reference is a gated invariant: member order
+   (push appends, swap_remove moves the then-last element into the hole,
+   swap writes the exact final layout) and RNG draw sequences (one
+   [Rng.int] per exchange_swap, rejection draws in sample_cluster_by_size)
+   are replicated operation for operation, so engines built over either
+   table produce identical snapshots, stats and audit digests (qcheck
+   equivalence suite). *)
+
+module Rng = Prng.Rng
 
 (* node_pos values pack (cluster id, member index) into one immediate int
    (cid lsl pos_bits | index): the exchange loop hits this table hardest
@@ -11,10 +36,16 @@ let pos_mask = (1 lsl pos_bits) - 1
 
 type t = {
   is_byzantine : int -> bool;
-  by_id : (int, cluster) Hashtbl.t;
+  mutable slab : int array;  (* arena backing every member segment *)
+  mutable top : int;  (* bump pointer *)
+  mutable garbage : int;  (* words stranded by grows and dissolves *)
+  mutable off : int array;  (* by cid; -1 = not a live cluster *)
+  mutable len : int array;
+  mutable cap : int array;
+  mutable byz : int array;
+  mutable id_pos : int array;  (* cid -> index in ids; -1 = dead *)
   ids : Vec.t;  (* cluster ids, dense, for O(1) uniform sampling *)
-  id_pos : (int, int) Hashtbl.t;  (* cluster id -> index in ids *)
-  node_pos : (int, int) Hashtbl.t;  (* node -> packed (cluster id, index) *)
+  mutable node_pos : int array;  (* node -> packed (cid, index); -1 = none *)
   mutable next_cid : int;
   mutable total_nodes : int;
   mutable violating : int;
@@ -24,52 +55,145 @@ type t = {
 let create ~is_byzantine =
   {
     is_byzantine;
-    by_id = Hashtbl.create 256;
+    slab = Array.make 4096 0;
+    top = 0;
+    garbage = 0;
+    off = Array.make 256 (-1);
+    len = Array.make 256 0;
+    cap = Array.make 256 0;
+    byz = Array.make 256 0;
+    id_pos = Array.make 256 (-1);
     ids = Vec.create ();
-    id_pos = Hashtbl.create 256;
-    node_pos = Hashtbl.create 4096;
+    node_pos = Array.make 4096 (-1);
     next_cid = 0;
     total_nodes = 0;
     violating = 0;
     violation_events = 0;
   }
 
-let violates c = Vec.length c.members_vec <= 3 * c.byz && Vec.length c.members_vec > 0
+(* ---- growable flat arrays ---------------------------------------- *)
+
+let grow_int_array a n fill =
+  let have = Array.length a in
+  if n <= have then a
+  else begin
+    let bigger = Array.make (max n (2 * have)) fill in
+    Array.blit a 0 bigger 0 have;
+    bigger
+  end
+
+let ensure_cid t cid =
+  if cid >= Array.length t.off then begin
+    let n = cid + 1 in
+    t.off <- grow_int_array t.off n (-1);
+    t.len <- grow_int_array t.len n 0;
+    t.cap <- grow_int_array t.cap n 0;
+    t.byz <- grow_int_array t.byz n 0;
+    t.id_pos <- grow_int_array t.id_pos n (-1)
+  end
+
+let ensure_node t node =
+  if node >= Array.length t.node_pos then
+    t.node_pos <- grow_int_array t.node_pos (node + 1) (-1)
+
+(* ---- arena ------------------------------------------------------- *)
+
+(* Slide every live segment down in cid order.  Purely a layout move —
+   per-segment member order is preserved — and the trigger below depends
+   only on the operation history, so compaction never perturbs any
+   observable byte. *)
+let compact t =
+  let live = ref 0 in
+  for cid = 0 to t.next_cid - 1 do
+    if t.off.(cid) >= 0 then live := !live + t.cap.(cid)
+  done;
+  let fresh = Array.make (max 4096 (2 * !live)) 0 in
+  let p = ref 0 in
+  for cid = 0 to t.next_cid - 1 do
+    if t.off.(cid) >= 0 then begin
+      Array.blit t.slab t.off.(cid) fresh !p t.len.(cid);
+      t.off.(cid) <- !p;
+      p := !p + t.cap.(cid)
+    end
+  done;
+  t.slab <- fresh;
+  t.top <- !live;
+  t.garbage <- 0
+
+(* Bump-allocate [n] arena words, compacting first once stranded words
+   outnumber live ones. *)
+let arena_alloc t n =
+  if t.top + n > Array.length t.slab then begin
+    if 2 * t.garbage > t.top then compact t;
+    if t.top + n > Array.length t.slab then
+      t.slab <- grow_int_array t.slab (t.top + n) 0
+  end;
+  let off = t.top in
+  t.top <- t.top + n;
+  off
+
+(* Double a full segment's capacity (fresh allocation + copy, like a Vec
+   grow); the old range becomes garbage. *)
+let grow_segment t cid =
+  let old_cap = t.cap.(cid) in
+  let new_cap = max 8 (2 * old_cap) in
+  let new_off = arena_alloc t new_cap in
+  (* Read the offset only after the allocation: arena_alloc may have
+     compacted, relocating this very segment (and replacing the slab). *)
+  let old_off = t.off.(cid) in
+  Array.blit t.slab old_off t.slab new_off t.len.(cid);
+  t.off.(cid) <- new_off;
+  t.cap.(cid) <- new_cap;
+  t.garbage <- t.garbage + old_cap
+
+let arena_words t = (t.top - t.garbage, Array.length t.slab)
+
+(* ---- violation accounting ---------------------------------------- *)
+
+let violates t cid = t.len.(cid) <= 3 * t.byz.(cid) && t.len.(cid) > 0
 
 (* Wrap any mutation of a cluster so the violation counters stay exact. *)
-let with_violation_tracking t c mutate =
-  let before = violates c in
+let with_violation_tracking t cid mutate =
+  let before = violates t cid in
   mutate ();
-  let after = violates c in
+  let after = violates t cid in
   if before && not after then t.violating <- t.violating - 1
   else if (not before) && after then begin
     t.violating <- t.violating + 1;
     t.violation_events <- t.violation_events + 1
   end
 
-let find t cid =
-  match Hashtbl.find_opt t.by_id cid with
-  | Some c -> c
-  | None -> raise Not_found
+let live t cid = cid >= 0 && cid < Array.length t.off && t.off.(cid) >= 0
 
-let exists t cid = Hashtbl.mem t.by_id cid
+let find t cid = if live t cid then cid else raise Not_found
 
-let add_member_raw t c node =
-  if Hashtbl.mem t.node_pos node then
+let exists t cid = live t cid
+
+(* ---- membership -------------------------------------------------- *)
+
+let add_member_raw t cid node =
+  ensure_node t node;
+  if t.node_pos.(node) >= 0 then
     invalid_arg "Cluster_table: node already has a cluster";
-  Vec.push c.members_vec node;
-  let idx = Vec.length c.members_vec - 1 in
+  if t.len.(cid) = t.cap.(cid) then grow_segment t cid;
+  let idx = t.len.(cid) in
+  t.slab.(t.off.(cid) + idx) <- node;
+  t.len.(cid) <- idx + 1;
   if idx > pos_mask then invalid_arg "Cluster_table: cluster too large";
-  Hashtbl.replace t.node_pos node ((c.cid lsl pos_bits) lor idx);
-  if t.is_byzantine node then c.byz <- c.byz + 1;
+  t.node_pos.(node) <- (cid lsl pos_bits) lor idx;
+  if t.is_byzantine node then t.byz.(cid) <- t.byz.(cid) + 1;
   t.total_nodes <- t.total_nodes + 1
 
 let install_cluster t cid members =
-  let c = { cid; members_vec = Vec.create (); byz = 0 } in
-  Hashtbl.replace t.by_id cid c;
-  Hashtbl.replace t.id_pos cid (Vec.length t.ids);
+  ensure_cid t cid;
+  t.off.(cid) <- arena_alloc t (max 8 (List.length members));
+  t.cap.(cid) <- max 8 (List.length members);
+  t.len.(cid) <- 0;
+  t.byz.(cid) <- 0;
+  t.id_pos.(cid) <- Vec.length t.ids;
   Vec.push t.ids cid;
-  with_violation_tracking t c (fun () -> List.iter (add_member_raw t c) members)
+  with_violation_tracking t cid (fun () ->
+      List.iter (add_member_raw t cid) members)
 
 let new_cluster t ~members =
   let cid = t.next_cid in
@@ -78,55 +202,80 @@ let new_cluster t ~members =
   cid
 
 let new_cluster_with_id t ~cid ~members =
-  if Hashtbl.mem t.by_id cid then
-    invalid_arg "Cluster_table.new_cluster_with_id: id in use";
+  if live t cid then invalid_arg "Cluster_table.new_cluster_with_id: id in use";
   if cid >= t.next_cid then t.next_cid <- cid + 1;
   install_cluster t cid members
 
-let remove_member_raw t c node =
-  let idx = Hashtbl.find t.node_pos node land pos_mask in
-  let removed = Vec.swap_remove c.members_vec idx in
+let remove_member_raw t cid node =
+  let idx = t.node_pos.(node) land pos_mask in
+  let off = t.off.(cid) in
+  let last = t.len.(cid) - 1 in
+  let removed = t.slab.(off + idx) in
   assert (removed = node);
+  t.slab.(off + idx) <- t.slab.(off + last);
+  t.len.(cid) <- last;
   (* The former last element now lives at idx. *)
-  if idx < Vec.length c.members_vec then begin
-    let moved = Vec.get c.members_vec idx in
-    Hashtbl.replace t.node_pos moved ((c.cid lsl pos_bits) lor idx)
+  if idx < last then begin
+    let moved = t.slab.(off + idx) in
+    t.node_pos.(moved) <- (cid lsl pos_bits) lor idx
   end;
-  Hashtbl.remove t.node_pos node;
-  if t.is_byzantine node then c.byz <- c.byz - 1;
+  t.node_pos.(node) <- -1;
+  if t.is_byzantine node then t.byz.(cid) <- t.byz.(cid) - 1;
   t.total_nodes <- t.total_nodes - 1
 
+let members t cid =
+  let cid = find t cid in
+  let off = t.off.(cid) in
+  let acc = ref [] in
+  for i = t.len.(cid) - 1 downto 0 do
+    acc := t.slab.(off + i) :: !acc
+  done;
+  !acc
+
+let member_at t cid i =
+  let cid = find t cid in
+  if i < 0 || i >= t.len.(cid) then invalid_arg "Cluster_table: index out of bounds";
+  t.slab.(t.off.(cid) + i)
+
 let dissolve t cid =
-  let c = find t cid in
-  let members = Vec.to_list c.members_vec in
-  with_violation_tracking t c (fun () ->
-      List.iter (remove_member_raw t c) members);
-  (* Drop the (now empty, non-violating) cluster from the id structures. *)
-  Hashtbl.remove t.by_id cid;
-  let pos = Hashtbl.find t.id_pos cid in
+  let cid = find t cid in
+  let ms = members t cid in
+  with_violation_tracking t cid (fun () ->
+      List.iter (remove_member_raw t cid) ms);
+  (* Drop the (now empty, non-violating) cluster from the id structures
+     and strand its segment. *)
+  t.garbage <- t.garbage + t.cap.(cid);
+  t.off.(cid) <- -1;
+  t.cap.(cid) <- 0;
+  let pos = t.id_pos.(cid) in
   ignore (Vec.swap_remove t.ids pos);
-  if pos < Vec.length t.ids then Hashtbl.replace t.id_pos (Vec.get t.ids pos) pos;
-  Hashtbl.remove t.id_pos cid;
-  members
+  if pos < Vec.length t.ids then t.id_pos.(Vec.get t.ids pos) <- pos;
+  t.id_pos.(cid) <- -1;
+  ms
 
 let add_member t ~cluster ~node =
-  let c = find t cluster in
-  with_violation_tracking t c (fun () -> add_member_raw t c node)
+  let cid = find t cluster in
+  with_violation_tracking t cid (fun () -> add_member_raw t cid node)
 
 let remove_member t ~node =
-  let cid = Hashtbl.find t.node_pos node lsr pos_bits in
-  let c = find t cid in
-  with_violation_tracking t c (fun () -> remove_member_raw t c node)
+  if node < 0 || node >= Array.length t.node_pos || t.node_pos.(node) < 0 then
+    raise Not_found;
+  let cid = t.node_pos.(node) lsr pos_bits in
+  with_violation_tracking t cid (fun () -> remove_member_raw t cid node)
 
-let cluster_of t node = Hashtbl.find t.node_pos node lsr pos_bits
+let cluster_of t node =
+  if node < 0 || node >= Array.length t.node_pos || t.node_pos.(node) < 0 then
+    raise Not_found;
+  t.node_pos.(node) lsr pos_bits
 
 let add_members t ~cluster ~nodes =
-  let c = find t cluster in
-  with_violation_tracking t c (fun () -> List.iter (add_member_raw t c) nodes)
+  let cid = find t cluster in
+  with_violation_tracking t cid (fun () -> List.iter (add_member_raw t cid) nodes)
 
 let remove_members t ~cluster ~nodes =
-  let c = find t cluster in
-  with_violation_tracking t c (fun () -> List.iter (remove_member_raw t c) nodes)
+  let cid = find t cluster in
+  with_violation_tracking t cid (fun () ->
+      List.iter (remove_member_raw t cid) nodes)
 
 (* The swap is one logical step: violation accounting brackets the whole
    exchange so no transient single-node state is counted as an event.
@@ -135,33 +284,32 @@ let remove_members t ~cluster ~nodes =
    [remove a; remove b; add a -> cb; add b -> ca] directly — each
    swap_remove moves the then-last element into the hole and the push
    lands on the freed last slot, so per cluster the hole gets the old
-   last element and the last slot gets the incoming node.  Overwriting
-   node_pos in place skips the remove/re-add churn of the raw ops (the
-   exchange loop's hottest table traffic). *)
-let swap_core t a ia cca b ib ccb =
-  let ca = cca.cid and cb = ccb.cid in
-  let va = violates cca and vb = violates ccb in
-  let la = Vec.length cca.members_vec - 1 in
+   last element and the last slot gets the incoming node. *)
+let swap_core t a ia ca b ib cb =
+  let va = violates t ca and vb = violates t cb in
+  let offa = t.off.(ca) in
+  let la = t.len.(ca) - 1 in
   if ia < la then begin
-    let moved = Vec.get cca.members_vec la in
-    Vec.set cca.members_vec ia moved;
-    Hashtbl.replace t.node_pos moved ((ca lsl pos_bits) lor ia)
+    let moved = t.slab.(offa + la) in
+    t.slab.(offa + ia) <- moved;
+    t.node_pos.(moved) <- (ca lsl pos_bits) lor ia
   end;
-  Vec.set cca.members_vec la b;
-  Hashtbl.replace t.node_pos b ((ca lsl pos_bits) lor la);
-  let lb = Vec.length ccb.members_vec - 1 in
+  t.slab.(offa + la) <- b;
+  t.node_pos.(b) <- (ca lsl pos_bits) lor la;
+  let offb = t.off.(cb) in
+  let lb = t.len.(cb) - 1 in
   if ib < lb then begin
-    let moved = Vec.get ccb.members_vec lb in
-    Vec.set ccb.members_vec ib moved;
-    Hashtbl.replace t.node_pos moved ((cb lsl pos_bits) lor ib)
+    let moved = t.slab.(offb + lb) in
+    t.slab.(offb + ib) <- moved;
+    t.node_pos.(moved) <- (cb lsl pos_bits) lor ib
   end;
-  Vec.set ccb.members_vec lb a;
-  Hashtbl.replace t.node_pos a ((cb lsl pos_bits) lor lb);
+  t.slab.(offb + lb) <- a;
+  t.node_pos.(a) <- (cb lsl pos_bits) lor lb;
   let ba = t.is_byzantine a and bb = t.is_byzantine b in
   if ba <> bb then begin
     let d = if bb then 1 else -1 in
-    cca.byz <- cca.byz + d;
-    ccb.byz <- ccb.byz - d
+    t.byz.(ca) <- t.byz.(ca) + d;
+    t.byz.(cb) <- t.byz.(cb) - d
   end;
   let track before after =
     if before && not after then t.violating <- t.violating - 1
@@ -170,42 +318,42 @@ let swap_core t a ia cca b ib ccb =
       t.violation_events <- t.violation_events + 1
     end
   in
-  track vb (violates ccb);
-  track va (violates cca)
+  track vb (violates t cb);
+  track va (violates t ca)
 
 let swap t a b =
-  let pa = Hashtbl.find t.node_pos a and pb = Hashtbl.find t.node_pos b in
+  let pa = t.node_pos.(a) and pb = t.node_pos.(b) in
+  if pa < 0 || pb < 0 then raise Not_found;
   let ca = pa lsr pos_bits and cb = pb lsr pos_bits in
-  if ca <> cb then
-    swap_core t a (pa land pos_mask) (find t ca) b (pb land pos_mask) (find t cb)
+  if ca <> cb then swap_core t a (pa land pos_mask) ca b (pb land pos_mask) cb
 
 (* One member-exchange step: draw a uniform replacement from [dest] and
    swap it with [node].  Byte-identical to [uniform_member] followed by
-   [swap] (same single [Rng.int] draw, same final layout) with one table
-   lookup per cluster instead of seven.  Returns the sizes of [node]'s
-   cluster and of [dest] before the swap — the exchange cost inputs. *)
+   [swap] (same single [Rng.int] draw, same final layout).  Returns the
+   sizes of [node]'s cluster and of [dest] before the swap — the exchange
+   cost inputs. *)
 let exchange_swap t rng ~node ~dest =
-  let pa = Hashtbl.find t.node_pos node in
+  if node < 0 || node >= Array.length t.node_pos || t.node_pos.(node) < 0 then
+    raise Not_found;
+  let pa = t.node_pos.(node) in
   let ca = pa lsr pos_bits in
-  let cca = find t ca and ccb = find t dest in
-  let nb = Vec.length ccb.members_vec in
+  let dest = find t dest in
+  let nb = t.len.(dest) in
   if nb = 0 then invalid_arg "Cluster_table: empty cluster";
   let j = Rng.int rng nb in
-  let b = Vec.get ccb.members_vec j in
-  let sa = Vec.length cca.members_vec in
-  if ca <> dest then swap_core t node (pa land pos_mask) cca b j ccb;
+  let b = t.slab.(t.off.(dest) + j) in
+  let sa = t.len.(ca) in
+  if ca <> dest then swap_core t node (pa land pos_mask) ca b j dest;
   (sa, nb)
 
-let size t cid = Vec.length (find t cid).members_vec
+let size t cid = t.len.(find t cid)
 
-let byz_count t cid = (find t cid).byz
+let byz_count t cid = t.byz.(find t cid)
 
 let byz_fraction t cid =
-  let c = find t cid in
-  let n = Vec.length c.members_vec in
-  if n = 0 then 0.0 else float_of_int c.byz /. float_of_int n
-
-let members t cid = Vec.to_list (find t cid).members_vec
+  let cid = find t cid in
+  let n = t.len.(cid) in
+  if n = 0 then 0.0 else float_of_int t.byz.(cid) /. float_of_int n
 
 let n_clusters t = Vec.length t.ids
 
@@ -215,7 +363,7 @@ let cluster_ids t = List.sort compare (Vec.to_list t.ids)
 
 let max_size t =
   let best = ref 0 in
-  Vec.iter (fun cid -> best := max !best (size t cid)) t.ids;
+  Vec.iter (fun cid -> if t.len.(cid) > !best then best := t.len.(cid)) t.ids;
   !best
 
 let uniform_cluster t rng =
@@ -229,7 +377,7 @@ let sample_cluster_by_size t rng ~size_bound =
       failwith "Cluster_table.sample_cluster_by_size: rejection budget exhausted"
     else begin
       let cid = uniform_cluster t rng in
-      let s = size t cid in
+      let s = t.len.(cid) in
       if s > size_bound then
         invalid_arg "Cluster_table: size_bound below an actual cluster size";
       if Rng.int rng size_bound < s then cid else draw (budget - 1)
@@ -238,10 +386,10 @@ let sample_cluster_by_size t rng ~size_bound =
   draw 1_000_000
 
 let uniform_member t rng cid =
-  let c = find t cid in
-  let n = Vec.length c.members_vec in
+  let cid = find t cid in
+  let n = t.len.(cid) in
   if n = 0 then invalid_arg "Cluster_table: empty cluster";
-  Vec.get c.members_vec (Rng.int rng n)
+  t.slab.(t.off.(cid) + Rng.int rng n)
 
 let iter_clusters t f = Vec.iter f t.ids
 
@@ -255,10 +403,9 @@ let min_honest_fraction t =
   let best = ref 1.0 in
   Vec.iter
     (fun cid ->
-      let c = find t cid in
-      let n = Vec.length c.members_vec in
+      let n = t.len.(cid) in
       if n > 0 then begin
-        let honest = float_of_int (n - c.byz) /. float_of_int n in
+        let honest = float_of_int (n - t.byz.(cid)) /. float_of_int n in
         if honest < !best then best := honest
       end)
     t.ids;
@@ -269,23 +416,32 @@ let check_consistency t =
   let violating = ref 0 in
   Vec.iteri
     (fun pos cid ->
-      (match Hashtbl.find_opt t.id_pos cid with
-      | Some p when p = pos -> ()
-      | _ -> failwith "Cluster_table: id_pos out of sync");
-      let c = find t cid in
+      if not (live t cid) then failwith "Cluster_table: dead cluster in ids";
+      if t.id_pos.(cid) <> pos then failwith "Cluster_table: id_pos out of sync";
+      if t.len.(cid) > t.cap.(cid) || t.off.(cid) + t.cap.(cid) > t.top then
+        failwith "Cluster_table: segment outside the arena";
       let byz = ref 0 in
-      Vec.iteri
-        (fun idx node ->
-          (match Hashtbl.find_opt t.node_pos node with
-          | Some p when p lsr pos_bits = cid && p land pos_mask = idx -> ()
-          | _ -> failwith "Cluster_table: node_pos out of sync");
-          if t.is_byzantine node then incr byz;
-          incr seen_nodes)
-        c.members_vec;
-      if !byz <> c.byz then failwith "Cluster_table: byz counter out of sync";
-      if violates c then incr violating)
+      for idx = 0 to t.len.(cid) - 1 do
+        let node = t.slab.(t.off.(cid) + idx) in
+        if t.node_pos.(node) <> (cid lsl pos_bits) lor idx then
+          failwith "Cluster_table: node_pos out of sync";
+        if t.is_byzantine node then incr byz;
+        incr seen_nodes
+      done;
+      if !byz <> t.byz.(cid) then failwith "Cluster_table: byz counter out of sync";
+      if violates t cid then incr violating)
     t.ids;
-  if !seen_nodes <> t.total_nodes then failwith "Cluster_table: total_nodes out of sync";
-  if !violating <> t.violating then failwith "Cluster_table: violating counter out of sync";
-  if Hashtbl.length t.node_pos <> t.total_nodes then
-    failwith "Cluster_table: node_pos size out of sync"
+  if !seen_nodes <> t.total_nodes then
+    failwith "Cluster_table: total_nodes out of sync";
+  if !violating <> t.violating then
+    failwith "Cluster_table: violating counter out of sync";
+  let homed = ref 0 in
+  Array.iter (fun p -> if p >= 0 then incr homed) t.node_pos;
+  if !homed <> t.total_nodes then
+    failwith "Cluster_table: node_pos size out of sync";
+  let live_words = ref 0 in
+  for cid = 0 to t.next_cid - 1 do
+    if t.off.(cid) >= 0 then live_words := !live_words + t.cap.(cid)
+  done;
+  if !live_words + t.garbage <> t.top then
+    failwith "Cluster_table: arena accounting out of sync"

@@ -1,25 +1,13 @@
-(** The partition of nodes into clusters, with O(1) membership updates and
-    continuous Byzantine-fraction monitoring.
+(** The original record/hashtable cluster table — the oracle.
 
-    This is the state the NOW engine mutates on every join, leave, split,
-    merge and exchange.  All operations the hot path needs — uniform member
-    sampling, size-proportional cluster sampling (the distribution [randCl]
-    realises), swap of two nodes — are O(1) expected, which is what makes
-    polynomial-length Theorem-3 runs feasible.
-
-    Representation: a flat struct-of-arrays arena.  Every cluster's member
-    list is an index range into one shared int slab; per-cluster
-    descriptors (offset, length, capacity, Byzantine count) and the
-    node→(cluster, slot) map are flat int arrays.  This removes the
-    per-cluster records and hashtables from the hot loop and is what makes
-    the 10^5–10^6-node E15 runs feasible.  Observable behaviour — member
-    order, RNG draw sequence, violation accounting — is byte-identical to
-    {!Cluster_table_reference}, the original representation kept as the
-    oracle (qcheck equivalence suite).
-
-    The table also maintains, incrementally, the number of clusters
-    currently violating the >2/3-honest invariant and the cumulative count
-    of violation events — the quantities Theorem 3 bounds. *)
+    Same interface and observable behaviour as the flat-arena
+    {!Cluster_table} that replaced it on the hot path: identical member
+    ordering (push / swap-into-hole), identical RNG draw sequences, and
+    identical violation accounting, so engines built over either
+    representation produce byte-identical snapshots, stats and audit
+    digests (the qcheck equivalence suite enforces this — the repo's
+    cached-path convention of keeping the un-cached oracle in the
+    tree). *)
 
 type t
 
@@ -69,8 +57,7 @@ val byz_fraction : t -> int -> float
 (** [byz_count / size] of a cluster. *)
 
 val members : t -> int -> int list
-(** Member nodes of a cluster in slot order (the {!member_at} order);
-    allocates — hot paths should index with {!member_at} instead. *)
+(** Member nodes of a cluster in slot order (the {!member_at} order). *)
 
 val member_at : t -> int -> int -> int
 (** [member_at t cid i] is the node at member slot [i] of cluster [cid]
@@ -121,12 +108,6 @@ val min_honest_fraction : t -> float
 (** Smallest honest fraction over all clusters; 1.0 when empty.
     O(#clusters). *)
 
-val arena_words : t -> int * int
-(** [(live, capacity)] arena words — live member-segment words (garbage
-    excluded) and the slab's allocated size.  Introspection only; never
-    part of a gated byte. *)
-
 val check_consistency : t -> unit
-(** Debug/test hook: verifies every index and counter invariant —
-    including arena accounting (live + garbage = bump pointer) — and
-    raises [Failure] on corruption. *)
+(** Debug/test hook: verifies every index and counter invariant; raises
+    [Failure] on corruption. *)

@@ -19,10 +19,17 @@ val randnum_messages : size:int -> int
 val randnum_rounds : int
 
 val valchan_messages : src:int -> dst:int -> int
+(** Validated inter-cluster channel: all-to-all between the two member
+    sets, [src * dst] messages. *)
+
 val valchan_rounds : int
+(** Critical-path rounds of one validated-channel transmission. *)
 
 val hop_messages : src:int -> dst:int -> int
+(** One CTRW hop = one validated-channel transmission. *)
+
 val hop_rounds : int
+(** Critical-path rounds of one CTRW hop. *)
 
 val transfer_messages : src:int -> dst:int -> int
 (** Node-swap state transfer: the two swapped nodes introduce themselves

@@ -1,0 +1,6 @@
+(* The oracle engine: the same protocol logic as {!Engine}, instantiated
+   on {!Cluster_table_reference} (the original record/hashtable cluster
+   table).  The qcheck equivalence suite drives both engines through
+   identical operation sequences and requires identical snapshots, stats
+   and audit digests. *)
+include Engine_impl.Make (Cluster_table_reference)

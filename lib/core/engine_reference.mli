@@ -1,27 +1,13 @@
-(** The NOW protocol engine (Sections 3 and 4) — state level.
+(** The oracle engine: the same protocol logic as {!Engine} — the shared
+    {!Engine_impl} functor body — instantiated on
+    {!Cluster_table_reference}, the original record/hashtable cluster
+    table kept as the correctness oracle for the flat-arena refactor.
 
-    Maintains the full protocol state — node roster, cluster partition,
-    OVER overlay — and executes the paper's operations:
-
-    - {!create} runs the initialisation phase (network discovery over a
-      physical bootstrap graph, Byzantine agreement, random clusterisation,
-      initial Erdős–Rényi overlay — Section 3.2, Fig. 1);
-    - {!join} / {!leave} are the maintenance operations of Section 3.3
-      (Algorithms 1 and 2), with Split and Merge triggered internally by
-      the [l k log N] size bounds, node shuffling by [exchange], and
-      destination selection by the biased CTRW [randCl].
-
-    Every operation charges its communication cost to the engine ledger
-    using {!Cost_model} and reports messages plus critical-path rounds
-    (member exchanges of one cluster proceed in parallel, as the paper's
-    O(log^4 N) round bound requires, so rounds are max-combined across
-    parallel walks and summed across sequential phases).
-
-    Depending on [Params.walk_mode], [randCl] either runs the exact biased
-    CTRW on the overlay ([Exact_walk]) or samples the target distribution
-    [|C|/n] directly while charging the analytic walk cost
-    ([Direct_sample] — for polynomial-length Theorem 3 runs; experiment E9
-    justifies the equivalence, E5 cross-checks the costs). *)
+    The qcheck equivalence suite drives this engine and {!Engine}
+    through identical operation sequences (churn, exchanges, sharded
+    epochs) and requires identical snapshot bytes, cluster stats and
+    audit digests.  The API below mirrors {!Engine} item for item; see
+    that interface for the per-item protocol documentation. *)
 
 type t
 
@@ -68,7 +54,7 @@ val ledger : t -> Metrics.Ledger.t
 val roster : t -> Node.Roster.t
 (** The identity allocator (never reuses an id). *)
 
-val table : t -> Cluster_table.t
+val table : t -> Cluster_table_reference.t
 (** Direct access to the membership table — tests and oracles only;
     external readers should go through {!view}. *)
 

@@ -12,11 +12,13 @@ module Roster = struct
   (* Honesty assignments are permanent (the adversary is static): a
      departed node keeps its record so late bookkeeping — e.g. removing it
      from a cluster after it left — can still classify it.  Ids are
-     allocated sequentially, so both records live in flat arrays and the
-     per-swap honesty checks of the exchange loop are plain loads. *)
+     allocated sequentially, so both records live in flat bitfields (one
+     bit per node — an eighth of the [bool array] footprint at E15's
+     10^6-node scales) and the per-swap honesty checks of the exchange
+     loop are plain loads. *)
   type t = {
-    mutable all : honesty array;  (* index = id, valid below next_id *)
-    mutable present : bool array;
+    byz : Bitset.t;  (* index = id, valid below next_id; set = Byzantine *)
+    present : Bitset.t;
     mutable next_id : int;
     mutable present_count : int;
     mutable byz_present : int;
@@ -24,8 +26,8 @@ module Roster = struct
 
   let create () =
     {
-      all = Array.make 1024 Honest;
-      present = Array.make 1024 false;
+      byz = Bitset.create ~capacity:1024 ();
+      present = Bitset.create ~capacity:1024 ();
       next_id = 0;
       present_count = 0;
       byz_present = 0;
@@ -33,32 +35,24 @@ module Roster = struct
 
   let fresh t honesty =
     let id = t.next_id in
-    if id = Array.length t.all then begin
-      let all = Array.make (2 * id) Honest in
-      Array.blit t.all 0 all 0 id;
-      t.all <- all;
-      let present = Array.make (2 * id) false in
-      Array.blit t.present 0 present 0 id;
-      t.present <- present
-    end;
     t.next_id <- id + 1;
-    t.all.(id) <- honesty;
-    t.present.(id) <- true;
+    Bitset.set t.byz id (is_byzantine honesty);
+    Bitset.set t.present id true;
     t.present_count <- t.present_count + 1;
     if is_byzantine honesty then t.byz_present <- t.byz_present + 1;
     id
 
   let honesty t id =
     if id < 0 || id >= t.next_id then raise Not_found;
-    t.all.(id)
+    if Bitset.get t.byz id then Byzantine else Honest
 
-  let is_present t id = id >= 0 && id < t.next_id && t.present.(id)
+  let is_present t id = id >= 0 && id < t.next_id && Bitset.get t.present id
 
   let remove t id =
     if not (is_present t id) then raise Not_found;
-    t.present.(id) <- false;
+    Bitset.set t.present id false;
     t.present_count <- t.present_count - 1;
-    if is_byzantine t.all.(id) then t.byz_present <- t.byz_present - 1
+    if Bitset.get t.byz id then t.byz_present <- t.byz_present - 1
 
   let count t = t.present_count
 
@@ -72,6 +66,7 @@ module Roster = struct
 
   let iter t f =
     for id = 0 to t.next_id - 1 do
-      if t.present.(id) then f id t.all.(id)
+      if Bitset.get t.present id then
+        f id (if Bitset.get t.byz id then Byzantine else Honest)
     done
 end

@@ -7,9 +7,11 @@
 
 type id = int
 
+(** Whether the adversary controls the node (fixed at join time). *)
 type honesty = Honest | Byzantine
 
 val is_byzantine : honesty -> bool
+(** [true] on [Byzantine]. *)
 
 val pp_honesty : Format.formatter -> honesty -> unit
 

@@ -1,0 +1,49 @@
+(* The cluster-table signature the engine functor ({!Engine_impl.Make}) is
+   parameterised over.  Two implementations satisfy it:
+
+   - {!Cluster_table} — the flat struct-of-arrays arena (production);
+   - {!Cluster_table_reference} — the original record/hashtable
+     representation, kept as the oracle per the repo's cached-path
+     convention (the qcheck equivalence suite drives both with identical
+     operation sequences and compares snapshots, stats and digests).
+
+   Behavioural contract, beyond the types: member order is observable
+   (snapshots serialise it) and every implementation must realise the
+   exact push / swap_remove / swap layout and the exact RNG draw sequence
+   of the reference — byte-identity across representations is a gated
+   invariant, not a nicety. *)
+
+module type S = sig
+  type t
+
+  val create : is_byzantine:(int -> bool) -> t
+  val new_cluster : t -> members:int list -> int
+  val new_cluster_with_id : t -> cid:int -> members:int list -> unit
+  val dissolve : t -> int -> int list
+  val add_member : t -> cluster:int -> node:int -> unit
+  val add_members : t -> cluster:int -> nodes:int list -> unit
+  val remove_member : t -> node:int -> unit
+  val remove_members : t -> cluster:int -> nodes:int list -> unit
+  val swap : t -> int -> int -> unit
+  val exchange_swap : t -> Prng.Rng.t -> node:int -> dest:int -> int * int
+  val cluster_of : t -> int -> int
+  val size : t -> int -> int
+  val byz_count : t -> int -> int
+  val byz_fraction : t -> int -> float
+  val members : t -> int -> int list
+  val member_at : t -> int -> int -> int
+  val exists : t -> int -> bool
+  val n_clusters : t -> int
+  val n_nodes : t -> int
+  val cluster_ids : t -> int list
+  val max_size : t -> int
+  val uniform_cluster : t -> Prng.Rng.t -> int
+  val sample_cluster_by_size : t -> Prng.Rng.t -> size_bound:int -> int
+  val uniform_member : t -> Prng.Rng.t -> int -> int
+  val iter_clusters : t -> (int -> unit) -> unit
+  val violations_now : t -> int
+  val violation_events : t -> int
+  val restore_violation_events : t -> int -> unit
+  val min_honest_fraction : t -> float
+  val check_consistency : t -> unit
+end

@@ -1,0 +1,309 @@
+(* E15 — the theorems at scale: 10^5 (quick) and 10^6 (--full) nodes on
+   the flat-arena engine, with the sharded exchange epoch.
+
+   Parts:
+
+   part A (scale): build a 10^5- (quick; --full adds 10^6-) node system
+     with [Engine.create_scaled], run paired churn without per-operation
+     shuffling, then one sharded [Engine.exchange_epoch] sweep — the
+     Exec-parallel path whose tables must be byte-identical for any -j
+     (CI-gated).  Assertions are the paper's shapes:
+       - Theorem 3 band: every cluster size within
+         [k log N / l, l k log N] (merge skips tolerated only at a
+         single surviving cluster), zero clusters at or below 2/3
+         honest, zero violation events over the whole run;
+       - Lemma 1 after the epoch: every cluster strictly >2/3 honest in
+         integer arithmetic (3*honest > 2*size), and the epoch is a pure
+         permutation — the global Byzantine count is exactly preserved.
+     Wall-clock numbers stay out of the table by the telemetry
+     convention (they are non-deterministic); scale-run wall times are
+     carried by the --monitor-json / --history channels instead.
+
+   part B (cross-validation): at N = 4096, the message-level engine
+     (real per-node messages on the simulation kernel) against a
+     [create_scaled] state engine, E5-style: per-operation deltas of the
+     ledger labels both engines charge from the same cost formulas
+     (join.insert, exchange.view_update, leave.notify), plus the
+     epoch's per-member message cost against the message-level
+     exchange(C) per-member cost.  Ratios must land in E5's [0.2, 5.0]
+     band.
+
+   Every cell derives all randomness from the experiment seed via
+   Common.par_map_trials; the epoch's internal fan-out splits per-cluster
+   generators by cluster index, so the table is byte-identical for any
+   -j at both levels of parallelism. *)
+
+module Engine = Now_core.Engine
+module Params = Now_core.Params
+module Node = Now_core.Node
+module Table = Metrics.Table
+module Ledger = Metrics.Ledger
+module Rng = Prng.Rng
+
+let k = 8
+let tau = 0.15
+
+type row = {
+  part : string;
+  n_label : string;
+  detail : string list;  (* remaining columns, preformatted *)
+  cell_ok : bool;
+}
+
+(* ---------- part A: the theorems at scale ---------- *)
+
+type scale_cell = {
+  n_max : int;
+  n0 : int;
+  churn_steps : int;
+  epochs : int;
+}
+
+let scale_cells mode =
+  let quick = { n_max = 1 lsl 17; n0 = 100_000; churn_steps = 2_000; epochs = 1 } in
+  let full = { n_max = 1 lsl 20; n0 = 1_000_000; churn_steps = 5_000; epochs = 1 } in
+  match mode with Common.Quick -> [ quick ] | Common.Full -> [ quick; full ]
+
+let global_byz stats = List.fold_left (fun acc (_, _, byz) -> acc + byz) 0 stats
+
+(* Lemma 1's safety consequence, checked per cluster in integer
+   arithmetic: strictly more than 2/3 honest means 3*honest > 2*size. *)
+let all_strictly_honest stats =
+  List.for_all
+    (fun (_, size, byz) -> size = 0 || 3 * (size - byz) > 2 * size)
+    stats
+
+let run_scale_cell ~rng ~index (c : scale_cell) =
+  let labels = [ ("experiment", "E15"); ("part", "A.scale") ] in
+  let params =
+    Params.make ~k ~tau ~walk_mode:Params.Direct_sample ~shuffle_on_churn:false
+      ~allow_split_merge:true ~n_max:c.n_max ()
+  in
+  let pop_rng = Rng.split rng in
+  let initial = Common.initial_population pop_rng ~n:c.n0 ~tau in
+  let eseed = Int64.of_int (Rng.int rng 1_000_000_000) in
+  let engine = Engine.create_scaled ~seed:eseed params ~initial in
+  (* Paired churn (a join and a leave per step) without per-operation
+     shuffling: the epoch below is the only mixing force, which is
+     exactly the regime Lemma 1 speaks about. *)
+  let churn_rng = Rng.split rng in
+  for _ = 1 to c.churn_steps do
+    let honesty = if Rng.bernoulli churn_rng tau then Node.Byzantine else Node.Honest in
+    ignore (Engine.join engine honesty);
+    ignore (Engine.leave engine (Engine.random_node engine))
+  done;
+  let before_stats = Engine.cluster_stats engine in
+  let byz_before = global_byz before_stats in
+  (* The sharded sweep: per-cluster plans fan out over Exec.par_map. *)
+  let epoch_messages = ref 0 in
+  for _ = 1 to c.epochs do
+    let r = Engine.exchange_epoch engine in
+    epoch_messages := !epoch_messages + r.Engine.messages
+  done;
+  Monitor.maybe_sample_engine ~labels ~time:index engine;
+  let stats = Engine.cluster_stats engine in
+  let sizes = List.map (fun (_, s, _) -> s) stats in
+  let smin = List.fold_left min max_int sizes in
+  let smax = List.fold_left max 0 sizes in
+  let size_lo = Params.min_cluster_size params in
+  let size_hi = Params.max_cluster_size params in
+  let n_clusters = List.length stats in
+  let byz_after = global_byz stats in
+  let worst_frac =
+    List.fold_left
+      (fun acc (_, s, b) ->
+        if s = 0 then acc else Float.max acc (float_of_int b /. float_of_int s))
+      0.0 stats
+  in
+  let band_ok = smax <= size_hi && (smin >= size_lo || n_clusters <= 1) in
+  let safety_ok =
+    Engine.violations_now engine = 0
+    && Engine.violation_events engine = 0
+    && all_strictly_honest stats
+  in
+  let permutation_ok = byz_before = byz_after in
+  let live_words, _cap_words = Now_core.Cluster_table.arena_words (Engine.table engine) in
+  {
+    part = "A.scale";
+    n_label = string_of_int c.n0;
+    detail =
+      [
+        Printf.sprintf "%d" n_clusters;
+        Printf.sprintf "[%d, %d] in [%d, %d]" smin smax size_lo size_hi;
+        Printf.sprintf "%.3f < 1/3" worst_frac;
+        Printf.sprintf "epoch msgs %d; arena %d words" !epoch_messages live_words;
+      ];
+    cell_ok = band_ok && safety_ok && permutation_ok;
+  }
+
+(* ---------- part B: cross-validation ---------- *)
+
+(* The message level pays real per-node messages, so its N follows the
+   mode like E5's message part does: 4096 is a --full scale. *)
+let xval_n_max mode = Common.scale mode ~quick:1024 ~full:4096
+
+(* The message-level geometry of E5 at name-space bound N (population
+   n = N/2), so the two ledgers are comparable at equal N. *)
+let msg_spec ~n_max =
+  let log2n = int_of_float (ceil (Common.log2i n_max)) in
+  let cluster_size = k * log2n in
+  let n_clusters = max 3 (n_max / 2 / cluster_size) in
+  let overlay_degree =
+    min (n_clusters - 1)
+      (max 3 (int_of_float (2.0 *. (float_of_int log2n ** 1.25))))
+  in
+  {
+    Scenario.Spec.default with
+    Scenario.Spec.name = "e15";
+    n_max;
+    k;
+    n_clusters;
+    cluster_size;
+    overlay_degree;
+    byz_per_cluster = Some (cluster_size * 15 / 100);
+    behavior = None;
+    churn = Scenario.Spec.Static;
+    drive = Scenario.Spec.no_drive;
+  }
+
+let msg_level_costs ~seed ~n_max =
+  let driver = Scenario.Msg_driver.create ~seed (msg_spec ~n_max) in
+  let cfg = Scenario.Msg_driver.config driver in
+  let ledger = Scenario.Msg_driver.ledger driver in
+  let cluster_size =
+    Cluster.Config.size cfg (List.hd (Cluster.Config.cluster_ids cfg))
+  in
+  let before = Ledger.snapshot ledger in
+  if not (Scenario.Msg_driver.exchange driver) then
+    failwith "E15: message-level exchange failed";
+  let exch = Ledger.since ledger before in
+  let lm label = Ledger.label_messages ledger label in
+  let ji0 = lm "join.insert" and vu0 = lm "exchange.view_update" in
+  Scenario.Msg_driver.join driver;
+  let join_insert = lm "join.insert" - ji0 in
+  let join_view_update = lm "exchange.view_update" - vu0 in
+  let ln0 = lm "leave.notify" in
+  Scenario.Msg_driver.leave driver;
+  let leave_notify = lm "leave.notify" - ln0 in
+  let s = Scenario.Msg_driver.stats driver in
+  if s.Scenario.Stats.churn_failures > 0 then
+    failwith "E15: message-level churn operation failed";
+  ( float_of_int exch.Ledger.messages /. float_of_int (max 1 cluster_size),
+    join_insert,
+    join_view_update,
+    leave_notify )
+
+let state_level_costs ~rng ~n_max =
+  let params =
+    Params.make ~k ~tau ~walk_mode:Params.Direct_sample ~shuffle_on_churn:true
+      ~allow_split_merge:true ~n_max ()
+  in
+  let pop_rng = Rng.split rng in
+  let initial = Common.initial_population pop_rng ~n:(n_max / 2) ~tau in
+  let eseed = Int64.of_int (Rng.int rng 1_000_000_000) in
+  let engine = Engine.create_scaled ~seed:eseed params ~initial in
+  let ledger = Engine.ledger engine in
+  let lm label = Ledger.label_messages ledger label in
+  let ops = 8 in
+  let join_insert = ref 0 and join_view_update = ref 0 and leave_notify = ref 0 in
+  for _ = 1 to ops do
+    let ji0 = lm "join.insert" and vu0 = lm "exchange.view_update" in
+    ignore (Engine.join engine Node.Honest);
+    join_insert := !join_insert + lm "join.insert" - ji0;
+    join_view_update := !join_view_update + lm "exchange.view_update" - vu0;
+    let ln0 = lm "leave.notify" in
+    ignore (Engine.leave engine (Engine.random_node engine));
+    leave_notify := !leave_notify + lm "leave.notify" - ln0
+  done;
+  let r = Engine.exchange_epoch engine in
+  let per_op v = float_of_int !v /. float_of_int ops in
+  ( float_of_int r.Engine.messages /. float_of_int (max 1 (Engine.n_nodes engine)),
+    per_op join_insert,
+    per_op join_view_update,
+    per_op leave_notify )
+
+let run_xval_cell ~rng ~index ~n_max =
+  let labels = [ ("experiment", "E15"); ("part", "B.xval") ] in
+  let mseed = Int64.of_int (Rng.int rng 1_000_000_000) in
+  let m_exch, m_ji, m_vu, m_ln = msg_level_costs ~seed:mseed ~n_max in
+  let s_exch, s_ji, s_vu, s_ln = state_level_costs ~rng ~n_max in
+  Monitor.maybe_count ~series:"ops.walks" ~labels ~time:index 0;
+  let ratios =
+    [
+      ("exchange/member", s_exch /. Float.max 1.0 m_exch);
+      ("join.insert", s_ji /. Float.max 1.0 (float_of_int m_ji));
+      ("exchange.view_update", s_vu /. Float.max 1.0 (float_of_int m_vu));
+      ("leave.notify", s_ln /. Float.max 1.0 (float_of_int m_ln));
+    ]
+  in
+  let in_band (_, r) = r >= 0.2 && r <= 5.0 in
+  {
+    part = "B.xval";
+    n_label = string_of_int n_max;
+    detail =
+      [
+        "state vs msg";
+        String.concat ", "
+          (List.map (fun (l, r) -> Printf.sprintf "%s %.2f" l r) ratios);
+        "band [0.2, 5.0]";
+        "-";
+      ];
+    cell_ok = List.for_all in_band ratios;
+  }
+
+(* ---------- assembly ---------- *)
+
+type cell_spec = Scale of scale_cell | Xval
+
+let run ?(mode = Common.Quick) ?(seed = 1515L) () =
+  let specs = List.map (fun c -> Scale c) (scale_cells mode) @ [ Xval ] in
+  let rows =
+    Common.par_map_trials ~seed
+      (fun ~rng (index, spec) ->
+        match spec with
+        | Scale c -> run_scale_cell ~rng ~index c
+        | Xval -> run_xval_cell ~rng ~index ~n_max:(xval_n_max mode))
+      (List.mapi (fun index spec -> (index, spec)) specs)
+  in
+  let table =
+    Table.create ~title:"E15 / the theorems at 10^5-10^6 nodes (flat arena)"
+      ~columns:[ "part"; "n"; "clusters"; "size band"; "worst byz frac"; "detail" ]
+  in
+  List.iter
+    (fun r ->
+      Table.add_row table
+        (Table.S r.part :: Table.S r.n_label
+        :: List.map (fun d -> Table.S d) r.detail))
+    rows;
+  let ok = List.for_all (fun r -> r.cell_ok) rows in
+  Common.make_result ~id:"E15"
+    ~title:"Scale — Theorem 3 and Lemma 1 at 10^5-10^6 nodes" ~table
+    ~notes:
+      [
+        "A: create_scaled charges the bootstrap analytically (expected ER \
+         edges, log-diameter flooding) — at 10^6 nodes materialising the \
+         Theta(n log n)-edge discovery graph would dominate the run while \
+         contributing two ledger numbers; everything after initialisation \
+         is the exact engine.";
+        "A: after churn without per-operation shuffling, one sharded \
+         exchange_epoch (per-cluster plans across the Exec pool, \
+         cluster-index randomness) restores Lemma 1's per-cluster \
+         guarantee: every cluster strictly >2/3 honest in integer \
+         arithmetic, zero violation events, and the epoch permutes — the \
+         global Byzantine count is exactly preserved.";
+        "A: the Chernoff regime: at cluster size ~ k log N the worst \
+         per-cluster Byzantine fraction concentrates near tau + \
+         O(sqrt(tau/(k log N))) — well under 1/3 for tau = 0.15, but the \
+         asserted bound is the paper's 1/3, not the tighter concentration \
+         value (finite-size maxima over thousands of clusters approach \
+         it).";
+        "wall-clock at scale is intentionally absent from this table \
+         (non-deterministic); it rides the --monitor-json wall_seconds \
+         and --history channels instead.";
+        "B: per-operation deltas of the ledger labels both engines charge \
+         from the same formulas, plus per-member exchange cost — E5's \
+         band extended to create_scaled + exchange_epoch (N = 1024 \
+         quick, 4096 at --full: the message level pays real per-node \
+         messages).";
+      ]
+    ~ok ()

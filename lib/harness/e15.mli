@@ -1,0 +1,3 @@
+(** Experiment E15 — see DESIGN.md section 4 and the header of e15.ml. *)
+
+val run : ?mode:Common.mode -> ?seed:int64 -> unit -> Common.result

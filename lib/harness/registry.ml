@@ -16,6 +16,7 @@ let all : (string * runner) list =
     ("E12", fun mode -> E12.run ~mode ());
     ("E13", fun mode -> E13.run ~mode ());
     ("E14", fun mode -> E14.run ~mode ());
+    ("E15", fun mode -> E15.run ~mode ());
     ("F1", fun mode -> F12.f1 ~mode ());
     ("F2", fun mode -> F12.f2 ~mode ());
     ("A1", fun mode -> A1.run ~mode ());
@@ -38,6 +39,7 @@ let descriptions : (string * string) list =
     ("E12", "End-to-end message-level NOW (highest-fidelity validation)");
     ("E13", "Active Byzantine behaviour injection at protocol thresholds");
     ("E14", "Asynchrony — primitives under per-link latency (asim engine)");
+    ("E15", "Scale — Theorem 3 / Lemma 1 at 10^5-10^6 nodes (flat arena)");
     ("F1", "Fig. 1 — initialisation vs maintenance costs");
     ("F2", "Fig. 2 — per-operation maintenance costs");
     ("A1", "Ablation — the two Merge semantics");

@@ -115,11 +115,11 @@ let sample_ledger store ~labels ~time ledger =
   Store.add store Counter ~series:"ledger.rounds" ~labels ~time
     (float_of_int (Metrics.Ledger.total_rounds ledger))
 
-let sample_engine store ?(labels = []) ?(spectral_iterations = 200) ~time
-    engine =
+let sample_view store ?(labels = []) ?(spectral_iterations = 200) ~time
+    (v : Now_core.View.t) =
   let labels = ("engine", "state") :: labels in
-  let params = Now_core.Engine.params engine in
-  let stats = Now_core.Engine.cluster_stats engine in
+  let params = v.Now_core.View.params in
+  let stats = v.Now_core.View.cluster_stats () in
   sample_honest store ~labels ~time stats;
   let sizes = List.map (fun (_, size, _) -> size) stats in
   sample_sizes store ~labels ~time sizes;
@@ -143,20 +143,24 @@ let sample_engine store ?(labels = []) ?(spectral_iterations = 200) ~time
           ~bound:(float_of_int size_min)
           ~detail:(Printf.sprintf "cluster %d size %d < min %d" cid size size_min))
     stats;
-  let health = Now_core.Engine.overlay_health ~spectral_iterations engine in
+  let health = v.Now_core.View.overlay_health ~spectral_iterations () in
   let cap = 2 * Now_core.Params.overlay_target_degree params ~n_clusters in
   sample_health store ~labels ~time ~degree_bound:cap health;
-  let totals = Now_core.Engine.totals engine in
+  let totals = v.Now_core.View.totals () in
   let counter series value =
     Store.add store Counter ~series ~labels ~time (float_of_int value)
   in
-  counter "ops.joins" totals.Now_core.Engine.total_joins;
-  counter "ops.leaves" totals.Now_core.Engine.total_leaves;
-  counter "ops.splits" totals.Now_core.Engine.total_splits;
-  counter "ops.merges" totals.Now_core.Engine.total_merges;
-  counter "ops.rejoins" totals.Now_core.Engine.total_rejoins;
-  counter "ops.walks" totals.Now_core.Engine.total_walks;
-  sample_ledger store ~labels ~time (Now_core.Engine.ledger engine)
+  counter "ops.joins" totals.Now_core.View.total_joins;
+  counter "ops.leaves" totals.Now_core.View.total_leaves;
+  counter "ops.splits" totals.Now_core.View.total_splits;
+  counter "ops.merges" totals.Now_core.View.total_merges;
+  counter "ops.rejoins" totals.Now_core.View.total_rejoins;
+  counter "ops.walks" totals.Now_core.View.total_walks;
+  sample_ledger store ~labels ~time (v.Now_core.View.ledger ())
+
+let sample_engine store ?labels ?spectral_iterations ~time engine =
+  sample_view store ?labels ?spectral_iterations ~time
+    (Now_core.Engine.view engine)
 
 let sample_config store ?(labels = []) ?(spectral_iterations = 200)
     ?degree_bound ~time cfg =

@@ -18,6 +18,13 @@ val describe : string -> string option
 (** Description of a series from {!series}; [None] for unknown names
     (e.g. dynamically named [byz.*] deviation counters). *)
 
+val sample_view :
+  Store.t -> ?labels:(string * string) list -> ?spectral_iterations:int ->
+  time:int -> Now_core.View.t -> unit
+(** {!sample_engine} over the engine's read-only {!Now_core.View} — the
+    representation-blind path shared by {!Now_core.Engine} (flat arena)
+    and [Now_core.Engine_reference] (the oracle). *)
+
 val sample_engine :
   Store.t -> ?labels:(string * string) list -> ?spectral_iterations:int ->
   time:int -> Now_core.Engine.t -> unit

@@ -100,7 +100,9 @@ let sample t ~time =
   Monitor.maybe_sample_engine ~labels:t.labels ~time t.engine
 
 let stats t =
-  let e = t.engine in
+  (* Read through the engine's read-only view: the driver is
+     representation-blind, like every other external reader. *)
+  let v = Engine.view t.engine in
   let joins, leaves, min_honest, target =
     match t.adversary with
     | Some a ->
@@ -110,20 +112,20 @@ let stats t =
         Adversary.target_byz_fraction a )
     | None -> (t.joins, t.leaves, t.min_honest, 0.0)
   in
-  let tot = Engine.totals e in
+  let tot = v.Now_core.View.totals () in
   {
     Driver.Stats.zero with
     steps = t.steps;
     joins;
     leaves;
-    splits = tot.Engine.total_splits;
-    merges = tot.Engine.total_merges;
-    n_nodes = Engine.n_nodes e;
-    n_clusters = Engine.n_clusters e;
+    splits = tot.Now_core.View.total_splits;
+    merges = tot.Now_core.View.total_merges;
+    n_nodes = v.Now_core.View.n_nodes ();
+    n_clusters = v.Now_core.View.n_clusters ();
     min_honest_fraction = min_honest;
     target_byz_fraction = target;
-    violations_now = Engine.violations_now e;
-    violation_events = Engine.violation_events e;
-    messages = Ledger.total_messages (Engine.ledger e);
-    rounds = Ledger.total_rounds (Engine.ledger e);
+    violations_now = v.Now_core.View.violations_now ();
+    violation_events = v.Now_core.View.violation_events ();
+    messages = Ledger.total_messages (v.Now_core.View.ledger ());
+    rounds = Ledger.total_rounds (v.Now_core.View.ledger ());
   }

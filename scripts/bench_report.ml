@@ -1,7 +1,9 @@
 (* bench_report — render BENCH_history.jsonl (appended by
    `bench/main.exe --history FILE`) as a self-contained SVG/HTML
-   dashboard of per-experiment wall time and caller-domain allocation
-   across runs.
+   dashboard of per-experiment wall time, caller-domain allocation and
+   peak live words (a Gc-alarm footprint sample, present since the
+   flat-arena engine landed) across runs.  All three are informational
+   operator telemetry — nothing here gates.
 
    Usage:  dune exec scripts/bench_report.exe -- HISTORY.jsonl OUT.html
 
@@ -39,8 +41,8 @@ let num_opt name = function
 type run = {
   mode : string;
   stamp : float;
-  cells : (string * (bool * float * float option)) list;
-      (* id -> ok, wall seconds, alloc bytes *)
+  cells : (string * (bool * float * float option * float option)) list;
+      (* id -> ok, wall seconds, alloc bytes, peak live words *)
 }
 
 let parse_line lineno line =
@@ -66,7 +68,11 @@ let parse_line lineno line =
             | _ -> format_error "line %d: experiment id is not a string" lineno
           in
           let ok = member "ok" item = Bool true in
-          (id, (ok, num "wall_seconds" item, num_opt "alloc_bytes" item)))
+          ( id,
+            ( ok,
+              num "wall_seconds" item,
+              num_opt "alloc_bytes" item,
+              num_opt "peak_live_words" item ) ))
         items
     | _ -> format_error "line %d: \"experiments\" is not an array" lineno
   in
@@ -140,13 +146,14 @@ let polyline buf ~cls ~n ~vlo ~vhi points =
         (html_escape (short v)))
     points
 
-let card buf ~id ~n walls allocs oks =
+let card buf ~id ~n walls allocs lives oks =
   let bpf fmt = Printf.bprintf buf fmt in
   bpf "<section class=\"card\">\n<header>\n<div>\n<h3>%s</h3>\n"
     (html_escape id);
   let failures = List.length (List.filter (fun (_, ok) -> not ok) oks) in
-  bpf "<p class=\"labels\">wall seconds per run%s</p>\n"
-    (match allocs with [] -> "" | _ -> " · alloc MB dashed, own scale");
+  bpf "<p class=\"labels\">wall seconds per run%s%s</p>\n"
+    (match allocs with [] -> "" | _ -> " · alloc MB dashed, own scale")
+    (match lives with [] -> "" | _ -> " · live Mwords dotted, own scale");
   bpf "</div>\n";
   (match List.rev walls with
   | (_, last) :: _ -> bpf "<p class=\"hero\">%ss</p>\n" (html_escape (short last))
@@ -184,15 +191,19 @@ let card buf ~id ~n walls allocs oks =
     "<text class=\"tick\" x=\"%.2f\" y=\"%.2f\" text-anchor=\"end\">run \
      %d</text>\n"
     (chart_w -. pad_r) (chart_h -. 6.0) n;
-  (* Alloc trend on its own scale (MB), drawn first so wall stays on top. *)
-  (match allocs with
-  | [] -> ()
-  | al ->
-    let avs = List.map snd al in
-    let alo = List.fold_left min infinity avs in
-    let ahi = List.fold_left max neg_infinity avs in
-    let alo, ahi = if ahi > alo then (alo, ahi) else (alo -. 0.5, ahi +. 0.5) in
-    polyline buf ~cls:"alloc" ~n ~vlo:alo ~vhi:ahi al);
+  (* Alloc and live-words trends on their own scales, drawn first so
+     wall stays on top. *)
+  let own_scale cls = function
+    | [] -> ()
+    | pts ->
+      let vs = List.map snd pts in
+      let lo = List.fold_left min infinity vs in
+      let hi = List.fold_left max neg_infinity vs in
+      let lo, hi = if hi > lo then (lo, hi) else (lo -. 0.5, hi +. 0.5) in
+      polyline buf ~cls ~n ~vlo:lo ~vhi:hi pts
+  in
+  own_scale "live" lives;
+  own_scale "alloc" allocs;
   polyline buf ~cls:"series" ~n ~vlo ~vhi walls;
   List.iter
     (fun (i, ok) ->
@@ -221,10 +232,13 @@ let card buf ~id ~n walls allocs oks =
         (html_escape (short (List.nth sorted (n - 1))))
         unit
   in
-  bpf "<p class=\"stats\">%s%s<span>%d runs</span>" (stats values "s")
+  bpf "<p class=\"stats\">%s%s%s<span>%d runs</span>" (stats values "s")
     (match allocs with
     | [] -> ""
     | al -> stats (List.map snd al) "&nbsp;MB alloc")
+    (match lives with
+    | [] -> ""
+    | lv -> stats (List.map snd lv) "&nbsp;Mw live")
     n;
   if failures > 0 then
     bpf "<span class=\"crit\">&#10007; %d failing runs</span>" failures;
@@ -282,8 +296,11 @@ h3 { font-size: 13px; font-weight: 600; margin: 0; }
   stroke-linejoin: round; stroke-linecap: round; }
 .alloc { fill: none; stroke: var(--muted); stroke-width: 1.5;
   stroke-dasharray: 5 4; }
+.live { fill: none; stroke: var(--good); stroke-width: 1.5;
+  stroke-dasharray: 2 4; }
 .dot.series { fill: var(--series-1); stroke: none; }
 .dot.alloc { fill: var(--muted); stroke: none; }
+.dot.live { fill: var(--good); stroke: none; }
 .breach { fill: var(--critical); stroke: var(--surface-1); stroke-width: 2; }
 .hit { fill: transparent; }
 .hit:hover { fill: var(--series-1); fill-opacity: 0.25; }
@@ -305,8 +322,9 @@ let render runs =
   bpf "<h1>nowlib bench history</h1>\n";
   let last = List.nth runs (n - 1) in
   bpf
-    "<p class=\"meta\">per-experiment wall time and caller-domain allocation \
-     across recorded bench runs · latest: %s mode, stamp %.0f</p>\n"
+    "<p class=\"meta\">per-experiment wall time, caller-domain allocation and \
+     peak live words across recorded bench runs · latest: %s mode, stamp \
+     %.0f</p>\n"
     (html_escape last.mode) last.stamp;
   bpf "<div class=\"tiles\">\n";
   bpf
@@ -318,7 +336,7 @@ let render runs =
      class=\"v\">%d</div></div>\n"
     (List.length ids);
   let total_wall =
-    List.fold_left (fun acc (_, (_, w, _)) -> acc +. w) 0.0 last.cells
+    List.fold_left (fun acc (_, (_, w, _, _)) -> acc +. w) 0.0 last.cells
   in
   bpf
     "<div class=\"tile\"><div class=\"k\">latest total wall</div><div \
@@ -327,19 +345,24 @@ let render runs =
   bpf "</div>\n<div class=\"grid-cards\">\n";
   List.iter
     (fun id ->
-      let walls = ref [] and allocs = ref [] and oks = ref [] in
+      let walls = ref [] and allocs = ref [] and lives = ref [] in
+      let oks = ref [] in
       List.iteri
         (fun i r ->
           match List.assoc_opt id r.cells with
           | None -> ()
-          | Some (ok, wall, alloc) ->
+          | Some (ok, wall, alloc, live) ->
             walls := (i, wall) :: !walls;
             oks := (i, ok) :: !oks;
             (match alloc with
             | Some a -> allocs := (i, a /. 1e6) :: !allocs
+            | None -> ());
+            (match live with
+            | Some lw -> lives := (i, lw /. 1e6) :: !lives
             | None -> ()))
         runs;
-      card buf ~id ~n (List.rev !walls) (List.rev !allocs) (List.rev !oks))
+      card buf ~id ~n (List.rev !walls) (List.rev !allocs) (List.rev !lives)
+        (List.rev !oks))
     ids;
   bpf "</div>\n</body>\n</html>\n";
   Buffer.contents buf

@@ -1,5 +1,6 @@
 #!/bin/sh
 # Doc-coverage lint for the public interfaces of lib/adversary, lib/apps,
+# lib/core,
 # lib/asim, lib/audit, lib/cluster, lib/monitor, lib/scenario,
 # lib/simkernel and lib/telemetry:
 # every .mli must open with a module-level
@@ -52,7 +53,7 @@ check_file() {
     esac
 }
 
-for f in lib/adversary/*.mli lib/apps/*.mli lib/asim/*.mli lib/audit/*.mli lib/cluster/*.mli lib/monitor/*.mli lib/scenario/*.mli lib/simkernel/*.mli lib/telemetry/*.mli; do
+for f in lib/adversary/*.mli lib/core/*.mli lib/apps/*.mli lib/asim/*.mli lib/audit/*.mli lib/cluster/*.mli lib/monitor/*.mli lib/scenario/*.mli lib/simkernel/*.mli lib/telemetry/*.mli; do
     check_file "$f"
 done
 

@@ -12,13 +12,13 @@ let run_silently runner =
   runner Harness.Common.Quick
 
 let test_registry_complete () =
-  checki "eighteen experiments" 18 (List.length Harness.Registry.all);
+  checki "nineteen experiments" 19 (List.length Harness.Registry.all);
   List.iter
     (fun id ->
       checkb ("registered: " ^ id) true (Harness.Registry.find id <> None))
     [
       "E1"; "E2"; "E3"; "E4"; "E5"; "E6"; "E7"; "E8"; "E9"; "E10"; "E11";
-      "E12"; "E13"; "E14"; "F1"; "F2"; "A1"; "A2";
+      "E12"; "E13"; "E14"; "E15"; "F1"; "F2"; "A1"; "A2";
     ];
   checkb "case-insensitive" true (Harness.Registry.find "e4" <> None);
   checkb "unknown rejected" true (Harness.Registry.find "E99" = None)

@@ -23,6 +23,7 @@ let () =
       ("apps", Test_apps.suite);
       ("snapshot-batch-workload", Test_snapshot.suite);
       ("properties", Test_properties.suite);
+      ("equivalence", Test_equivalence.suite);
       ("harness", Test_harness.suite);
       ("telemetry", Test_telemetry.suite);
     ]

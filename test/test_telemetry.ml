@@ -258,16 +258,16 @@ let write_file path contents =
   output_string oc contents;
   close_out oc
 
-let monitor_json ~ok ~wall =
+let monitor_json ?extra_experiment ?(samples = 10) ~ok ~wall () =
   Printf.sprintf
     {|{
   "format": 1,
   "mode": "quick",
   "experiments": [
-    {"id": "E1", "ok": %b, "rows": 6, "wall_seconds": %.3f, "alloc_bytes": 1000000}
+    {"id": "E1", "ok": %b, "rows": 6, "wall_seconds": %.3f, "alloc_bytes": 1000000}%s
   ],
   "invariants": {
-    "samples": 10,
+    "samples": %d,
     "violations": 0,
     "honest_frac_min": 0.9,
     "cluster_size_max": 20,
@@ -278,6 +278,14 @@ let monitor_json ~ok ~wall =
 }
 |}
     ok wall
+    (match extra_experiment with
+    | None -> ""
+    | Some id ->
+      Printf.sprintf
+        ",\n    {\"id\": %S, \"ok\": true, \"rows\": 2, \"wall_seconds\": \
+         3.0, \"alloc_bytes\": 2000000}"
+        id)
+    samples
 
 let run_script cmd = Sys.command (cmd ^ " > /dev/null 2>&1")
 
@@ -288,10 +296,18 @@ let test_bench_diff_exit_codes () =
     let same = Filename.temp_file "benchdiff_same" ".json" in
     let drift = Filename.temp_file "benchdiff_drift" ".json" in
     let broken = Filename.temp_file "benchdiff_broken" ".json" in
-    write_file base (monitor_json ~ok:true ~wall:1.0);
-    write_file same (monitor_json ~ok:true ~wall:1.2);
-    write_file drift (monitor_json ~ok:false ~wall:9.0);
+    let added = Filename.temp_file "benchdiff_added" ".json" in
+    let agg_drift = Filename.temp_file "benchdiff_agg" ".json" in
+    write_file base (monitor_json ~ok:true ~wall:1.0 ());
+    write_file same (monitor_json ~ok:true ~wall:1.2 ());
+    write_file drift (monitor_json ~ok:false ~wall:9.0 ());
     write_file broken "{ not json";
+    (* A newly registered experiment (E15-style) legitimately moves the
+       run-wide invariant aggregates: informational, exit 0. *)
+    write_file added
+      (monitor_json ~extra_experiment:"E15" ~samples:14 ~ok:true ~wall:1.0 ());
+    (* The same aggregate movement with no addition is real drift. *)
+    write_file agg_drift (monitor_json ~samples:14 ~ok:true ~wall:1.0 ());
     let diff a b =
       run_script
         (Printf.sprintf "../scripts/bench_diff.exe %s %s"
@@ -301,7 +317,9 @@ let test_bench_diff_exit_codes () =
     checki "regression exits 1" 1 (diff base drift);
     checki "format error exits 2" 2 (diff base broken);
     checki "missing file exits 2" 2 (diff base "/nonexistent/nope.json");
-    List.iter Sys.remove [ base; same; drift; broken ]
+    checki "new experiment rows stay informational" 0 (diff base added);
+    checki "aggregate drift without additions blocks" 1 (diff base agg_drift);
+    List.iter Sys.remove [ base; same; drift; broken; added; agg_drift ]
   end
 
 let test_bench_report_smoke () =
@@ -310,7 +328,7 @@ let test_bench_report_smoke () =
     let hist = Filename.temp_file "benchhist" ".jsonl" in
     let out = Filename.temp_file "benchreport" ".html" in
     write_file hist
-      ({|{"format": 1, "mode": "quick", "stamp": 100, "experiments": [{"id": "E1", "ok": true, "wall_seconds": 1.0, "alloc_bytes": 5000000}]}|}
+      ({|{"format": 1, "mode": "quick", "stamp": 100, "experiments": [{"id": "E1", "ok": true, "wall_seconds": 1.0, "alloc_bytes": 5000000, "peak_live_words": 3000000}]}|}
      ^ "\n"
      ^ {|{"format": 1, "mode": "quick", "stamp": 200, "experiments": [{"id": "E1", "ok": false, "wall_seconds": 1.5}]}|}
      ^ "\n");
@@ -328,6 +346,8 @@ let test_bench_report_smoke () =
     in
     checkb "report embeds SVG charts" true (contains "<svg" html);
     checkb "report names the experiment" true (contains "E1" html);
+    checkb "report renders the live-words trend" true
+      (contains "Mw live" html);
     checki "empty history is a format error" 2
       (run_script
          (Printf.sprintf "../scripts/bench_report.exe %s %s"
